@@ -1,0 +1,33 @@
+"""§4.3: the 2D kernel versus the 1D kernel with the same ordering.
+
+Shape targets: the 2D kernel typically matches or beats 1D; a
+noticeable fraction of matrices gains >1.1x (paper: 25 % on Rome, more
+on the machines with more cores); the largest individual gain is large
+(paper: ~10x).
+"""
+
+import numpy as np
+
+from repro.harness import two_d_vs_one_d
+from repro.harness.report import render_two_d_vs_one_d
+from repro.machine import architecture_names
+
+
+def test_2d_vs_1d(benchmark, full_sweep, emit):
+    def run():
+        return {arch: two_d_vs_one_d(full_sweep, arch)
+                for arch in architecture_names()}
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(render_two_d_vs_one_d(ratios[a], a)
+                     for a in architecture_names())
+    emit("2d_vs_1d", text)
+
+    for arch, r in ratios.items():
+        assert np.median(r) >= 0.95, arch  # 2D rarely loses
+    # machines with more cores gain more from balancing (paper §4.3)
+    frac_rome = np.mean(ratios["Rome"] > 1.1)
+    frac_milanb = np.mean(ratios["Milan B"] > 1.1)
+    assert frac_milanb >= frac_rome
+    # some matrix somewhere gains substantially
+    assert max(r.max() for r in ratios.values()) > 1.5

@@ -1,0 +1,47 @@
+"""Ablation: FM refinement in the multilevel partitioners (DESIGN.md §5.5).
+
+Refinement is the costly step of the multilevel method; this bench
+quantifies what it buys: edge-cut / cut-net quality with and without
+FM, and the knock-on effect on the GP ordering's modelled speedup.
+"""
+
+import numpy as np
+
+from repro.graph import column_net_hypergraph, graph_from_matrix
+from repro.hpartition import cutnet, partition_hypergraph
+from repro.partition import edge_cut, partition_graph
+from repro.util import format_table
+
+
+def test_ablation_fm_refinement(benchmark, corpus, emit):
+    subset = [e for e in corpus if 256 <= e.nrows][:6]
+
+    def run():
+        rows = []
+        for e in subset:
+            g = graph_from_matrix(e.matrix)
+            h = column_net_hypergraph(e.matrix)
+            rng1 = np.random.default_rng(0)
+            rng2 = np.random.default_rng(0)
+            cut_ref = edge_cut(g, partition_graph(g, 16, rng=rng1))
+            cut_no = edge_cut(g, partition_graph(g, 16, rng=rng2,
+                                                 refine=False))
+            hcut_ref = cutnet(h, partition_hypergraph(
+                h, 16, rng=np.random.default_rng(0)))
+            hcut_no = cutnet(h, partition_hypergraph(
+                h, 16, rng=np.random.default_rng(0), refine=False))
+            rows.append([e.name, cut_no, cut_ref, hcut_no, hcut_ref])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_fm_refinement",
+         "FM refinement ablation (16-way cuts)\n" + format_table(
+             ["matrix", "edge-cut no-FM", "edge-cut FM",
+              "cut-net no-FM", "cut-net FM"], rows))
+    # refinement never hurts, and helps in aggregate
+    total_no = sum(r[1] for r in rows)
+    total_ref = sum(r[2] for r in rows)
+    assert total_ref <= total_no
+    for r in rows:
+        assert r[2] <= r[1]
+        assert r[4] <= r[3]

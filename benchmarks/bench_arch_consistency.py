@@ -1,0 +1,63 @@
+"""Key finding 3: reordering behaviour is similar across architectures.
+
+The paper highlights that, despite individual hardware-sensitive
+matrices, the *overall* effect of each reordering barely depends on the
+machine.  This bench quantifies that on the sweep: for every ordering,
+the per-matrix log-speedups on each pair of machines must be strongly
+positively correlated, and the per-machine geomeans must rank the
+orderings identically on most machines.
+"""
+
+import numpy as np
+
+from repro.harness import experiment_speedups
+from repro.harness.experiments import REORDERINGS
+from repro.machine import architecture_names
+from repro.util import format_table
+
+
+def test_cross_architecture_consistency(benchmark, full_sweep, emit):
+    study = benchmark.pedantic(
+        experiment_speedups,
+        args=(full_sweep, architecture_names(), "1d"),
+        rounds=1, iterations=1)
+
+    archs = architecture_names()
+    # mean pairwise Pearson correlation of log-speedups per ordering
+    rows = []
+    for o in REORDERINGS:
+        logs = {a: np.log(study.raw[(a, o)]) for a in archs}
+        cors = []
+        for i, a in enumerate(archs):
+            for b in archs[i + 1:]:
+                la, lb = logs[a], logs[b]
+                if la.std() > 1e-12 and lb.std() > 1e-12:
+                    cors.append(float(np.corrcoef(la, lb)[0, 1]))
+        rows.append([o, float(np.mean(cors)), float(np.min(cors))])
+    emit("arch_consistency",
+         "Cross-architecture consistency of 1D speedups "
+         "(pairwise correlation of per-matrix log-speedups)\n"
+         + format_table(["ordering", "mean corr", "min corr"], rows))
+
+    for o, mean_c, min_c in rows:
+        assert mean_c > 0.5, o   # strongly correlated on average
+        assert min_c > 0.0, o    # never anti-correlated
+
+    # ranking agreement: per-arch ordering ranking vs the global one
+    overall = {o: np.exp(np.mean([np.log(study.geomeans[(a, o)])
+                                  for a in archs])) for o in REORDERINGS}
+    global_rank = sorted(REORDERINGS, key=lambda o: overall[o])
+    agreements = 0
+    for a in archs:
+        rank = sorted(REORDERINGS, key=lambda o: study.geomeans[(a, o)])
+        # Kendall-style: count pairwise agreements with the global rank
+        pairs = 0
+        agree = 0
+        for i in range(len(REORDERINGS)):
+            for j in range(i + 1, len(REORDERINGS)):
+                pairs += 1
+                gi = global_rank.index(rank[i])
+                gj = global_rank.index(rank[j])
+                agree += gi < gj
+        agreements += agree / pairs > 0.7
+    assert agreements >= len(archs) - 1  # at most one deviant machine

@@ -1,0 +1,53 @@
+"""Extension orderings (paper §2/§5 survey) vs the six main ones.
+
+Evaluates CM, GPS, SFC, TSP and the two-sided SBD form alongside RCM
+and GP on the corpus: the related-work claims to check are that the
+classical bandwidth reducers (CM/GPS) land close to RCM, the TSP
+ordering "improves data locality" modestly (Pinar & Heath report ~10 %
+kernel-level gains), and SBD behaves like a cache-oblivious cousin of
+HP.
+"""
+
+import numpy as np
+
+from repro.analysis import geomean
+from repro.machine import PerfModel, get_architecture, simulate_measurement
+from repro.reorder import compute_ordering, sbd_ordering
+from repro.util import format_table
+
+NAMES = ("RCM", "CM", "GPS", "SFC", "TSP", "GP")
+
+
+def test_extension_orderings(benchmark, corpus, emit):
+    arch = get_architecture("Ice Lake")
+    model = PerfModel(arch)
+    subset = [e for e in corpus if e.nrows >= 200][:10]
+
+    def run():
+        speed = {n: [] for n in NAMES + ("SBD",)}
+        for e in subset:
+            base = simulate_measurement(e.matrix, arch, "1d", e.name,
+                                        "original", model=model)
+            for n in NAMES:
+                r = compute_ordering(e.matrix, n, nparts=arch.gp_parts)
+                rec = simulate_measurement(r.apply(e.matrix), arch, "1d",
+                                           e.name, n, model=model)
+                speed[n].append(rec.gflops_max / base.gflops_max)
+            sbd = sbd_ordering(e.matrix, seed=0)
+            rec = simulate_measurement(sbd.apply(e.matrix), arch, "1d",
+                                       e.name, "SBD", model=model)
+            speed["SBD"].append(rec.gflops_max / base.gflops_max)
+        return {n: geomean(v) for n, v in speed.items()}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("extension_orderings",
+         "Extension orderings (geomean 1D speedup, Ice Lake)\n"
+         + format_table(["ordering", "geomean speedup"],
+                        [[n, v] for n, v in out.items()]))
+    # CM and RCM are the same level structure: nearly identical effect
+    assert abs(np.log(out["CM"] / out["RCM"])) < 0.25
+    # GPS is a bandwidth reducer of the same family as RCM
+    assert abs(np.log(out["GPS"] / out["RCM"])) < 0.35
+    # every extension produces a working ordering with sane effect size
+    for n, v in out.items():
+        assert 0.4 < v < 3.0, n

@@ -1,0 +1,25 @@
+"""Figure 1: RCM/ND/GP speedups for Freescale2, com-Amazon and kmer_V1r
+stand-ins on Milan B and Ice Lake.
+
+Shape target (paper Fig. 1): GP helps all three matrices; ND hurts the
+circuit-like Freescale2; the effects hold on both machines.
+"""
+
+from repro.harness import experiment_fig1_showcase
+from repro.harness.report import render_fig1
+
+from conftest import NAMED_SCALE
+
+
+def test_fig1_showcase(benchmark, ordering_cache, emit):
+    showcase = benchmark.pedantic(
+        experiment_fig1_showcase,
+        kwargs={"cache": ordering_cache, "scale": NAMED_SCALE},
+        rounds=1, iterations=1)
+    emit("fig1_showcase", render_fig1(showcase))
+    # GP must beat ND on the circuit-like Freescale2 on both machines
+    for arch in ("Milan B", "Ice Lake"):
+        cell = showcase[("Freescale2", arch)]
+        assert cell["GP"] > cell["ND"]
+    # every (matrix, arch) pair produced all three orderings
+    assert len(showcase) == 6

@@ -1,0 +1,35 @@
+"""Figure 2: distribution of 1D-kernel speedups per ordering × machine.
+
+Shape targets (paper §4.2): the interquartile box of the typical
+ordering sits in ~[0.5, 1.5]; RCM/GP/HP medians are above 1; Gray's
+upper quartile is ~1 or below (mostly slowdowns); the overall picture
+is similar on every machine.
+"""
+
+import numpy as np
+
+from repro.harness import experiment_speedups
+from repro.harness.report import render_boxplot_figure
+from repro.machine import architecture_names
+
+
+def test_fig2_speedup_distribution_1d(benchmark, full_sweep, emit):
+    study = benchmark.pedantic(
+        experiment_speedups,
+        args=(full_sweep, architecture_names(), "1d"),
+        rounds=1, iterations=1)
+    emit("fig2_speedup_1d",
+         render_boxplot_figure(study, architecture_names(),
+                               "Figure 2: 1D SpMV speedup after "
+                               "reordering"))
+    gp_wins = 0
+    for arch in architecture_names():
+        # GP: matrices typically speed up (paper: ~75 % of matrices)
+        gp = study.raw[(arch, "GP")]
+        assert np.median(gp) >= 0.95, arch
+        gp_wins += np.median(gp) >= 1.0
+        # Gray: majority slow down
+        gray = study.raw[(arch, "Gray")]
+        assert np.median(gray) <= 1.05, arch
+    # GP's median speedup exceeds 1 on most machines
+    assert gp_wins >= len(architecture_names()) // 2

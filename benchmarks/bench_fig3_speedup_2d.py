@@ -1,0 +1,31 @@
+"""Figure 3: distribution of 2D-kernel speedups per ordering × machine.
+
+Shape targets (paper §4.3): fewer and less extreme outliers than the
+1D figure, and a smaller spread between reordering strategies.
+"""
+
+import numpy as np
+
+from repro.harness import experiment_speedups
+from repro.harness.report import render_boxplot_figure
+from repro.machine import architecture_names
+
+
+def test_fig3_speedup_distribution_2d(benchmark, full_sweep, emit):
+    study2 = benchmark.pedantic(
+        experiment_speedups,
+        args=(full_sweep, architecture_names(), "2d"),
+        rounds=1, iterations=1)
+    study1 = experiment_speedups(full_sweep, architecture_names(), "1d")
+    emit("fig3_speedup_2d",
+         render_boxplot_figure(study2, architecture_names(),
+                               "Figure 3: 2D SpMV speedup after "
+                               "reordering"))
+    # less extreme spread than 1D: compare pooled IQR widths
+    def pooled_iqr(study):
+        widths = []
+        for (arch, o), box in study.boxes.items():
+            widths.append(box[3] - box[1])
+        return np.mean(widths)
+
+    assert pooled_iqr(study2) <= pooled_iqr(study1) * 1.05

@@ -1,0 +1,50 @@
+"""Figure 4: the six-class analysis on representative matrices across
+three platforms (one AMD, one Intel, one ARM).
+
+Shape targets (paper §4.4): the class-4 representative (HV15R-like,
+uniform rows) stays near 1.0 everywhere; the class-5 representative
+(hub-heavy) shows 1D effects driven by imbalance; class behaviour is
+similar across the three vendors.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import experiment_classes, FIG4_ARCHS
+from repro.harness.report import render_classes
+
+from conftest import NAMED_SCALE
+
+
+def test_fig4_class_analysis(benchmark, ordering_cache, emit):
+    classes = benchmark.pedantic(
+        experiment_classes,
+        kwargs={"cache": ordering_cache, "scale": NAMED_SCALE},
+        rounds=1, iterations=1)
+    emit("fig4_classes", render_classes(classes))
+
+    # class 4 representative (HV15R-like): mostly neutral under the
+    # symmetric orderings on every platform
+    hv = classes[4]
+    for arch in FIG4_ARCHS:
+        vals = [c["speedup_1d"] for o, c in hv[arch].items()
+                if o in ("RCM", "ND", "AMD")]
+        assert np.median(np.abs(np.log(vals))) < 0.45, arch
+
+    # the 2D kernel is balanced by construction for every cell
+    for cls in classes.values():
+        for arch in FIG4_ARCHS:
+            for cell in cls[arch].values():
+                assert cell["imbalance_after"] >= 1.0
+
+    # cross-platform consistency: per (class, ordering), the sign of
+    # the 1D effect agrees on at least 2 of the 3 platforms
+    agree = 0
+    total = 0
+    for cls, data in classes.items():
+        for o in data[FIG4_ARCHS[0]]:
+            signs = [np.sign(np.log(max(data[a][o]["speedup_1d"], 1e-9)))
+                     for a in FIG4_ARCHS]
+            total += 1
+            if abs(sum(signs)) >= 1:  # majority agreement
+                agree += 1
+    assert agree / total > 0.8

@@ -1,0 +1,64 @@
+"""Figure 5: Dolan–Moré performance profiles of bandwidth, profile,
+off-diagonal nonzero count and modelled SpMV runtime on Milan B.
+
+Shape targets (paper §4.5): RCM dominates the bandwidth profile; ND and
+RCM lead the profile metric; GP leads the off-diagonal count (with HP
+second); and the SpMV-runtime profile most closely resembles the
+off-diagonal profile — key finding 5.
+"""
+
+import numpy as np
+
+from repro.analysis import profile_at
+from repro.harness import experiment_feature_profiles
+from repro.harness.report import render_profile_figure
+from repro.reorder import ALL_ORDERINGS
+
+
+def test_fig5_performance_profiles(benchmark, corpus, ordering_cache,
+                                   emit):
+    profiles = benchmark.pedantic(
+        experiment_feature_profiles,
+        args=(corpus, ordering_cache),
+        rounds=1, iterations=1)
+    emit("fig5_perfprofiles",
+         render_profile_figure(profiles, list(ALL_ORDERINGS)))
+
+    # RCM wins the bandwidth profile at tau=1
+    bw_at_1 = {m: profile_at(profiles["bandwidth"], m, 1.0)
+               for m in ALL_ORDERINGS}
+    assert max(bw_at_1, key=bw_at_1.get) == "RCM"
+
+    # GP leads the off-diagonal count; HP among the runners-up (rank
+    # evaluated at tau=1.1 — at exactly tau=1 tie clusters make the
+    # order of the non-winners noisy on a small corpus)
+    off_at_1 = {m: profile_at(profiles["offdiag"], m, 1.0)
+                for m in ALL_ORDERINGS}
+    assert max(off_at_1, key=off_at_1.get) == "GP"
+    off_at_11 = {m: profile_at(profiles["offdiag"], m, 1.1)
+                 for m in ALL_ORDERINGS}
+    ranked = sorted(off_at_11, key=off_at_11.get, reverse=True)
+    assert "HP" in ranked[:3]
+    # GP and HP are the two most effective methods for SpMV runtime
+    # (paper: "we again see GP and HP as the first and second most
+    # effective methods")
+    time_at_11 = {m: profile_at(profiles["spmv_time"], m, 1.1)
+                  for m in ALL_ORDERINGS}
+    t_ranked = sorted(time_at_11, key=time_at_11.get, reverse=True)
+    assert set(t_ranked[:2]) == {"GP", "HP"}
+
+    # the SpMV-runtime profile resembles the off-diag profile more than
+    # the bandwidth profile (rank correlation over methods at tau=1.1)
+    def ranks(feature):
+        vals = {m: profile_at(profiles[feature], m, 1.1)
+                for m in ALL_ORDERINGS}
+        order = sorted(vals, key=vals.get)
+        return {m: i for i, m in enumerate(order)}
+
+    spmv_r, off_r, bw_r = ranks("spmv_time"), ranks("offdiag"), \
+        ranks("bandwidth")
+
+    def distance(a, b):
+        return sum(abs(a[m] - b[m]) for m in a)
+
+    assert distance(spmv_r, off_r) <= distance(spmv_r, bw_r)

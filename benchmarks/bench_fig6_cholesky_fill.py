@@ -1,0 +1,30 @@
+"""Figure 6: Cholesky fill ratio nnz(L)/nnz(A) per ordering over the
+SPD subset of the corpus.
+
+Shape targets (paper §4.6): the fill-reducing orderings AMD and ND
+produce the least fill; RCM, GP and HP are considerably less effective
+but typically still better than the original ordering; Gray is absent
+(row-only permutations cannot be used for a symmetric factorisation).
+"""
+
+import numpy as np
+
+from repro.harness import experiment_cholesky_fill
+from repro.harness.report import render_fill_figure
+
+
+def test_fig6_cholesky_fill(benchmark, corpus, ordering_cache, emit):
+    fills = benchmark.pedantic(
+        experiment_cholesky_fill,
+        args=(corpus, ordering_cache),
+        rounds=1, iterations=1)
+    emit("fig6_cholesky_fill", render_fill_figure(fills))
+
+    med = {o: np.median(v) for o, v in fills["_raw"].items()}
+    assert "Gray" not in med
+    # AMD and ND least fill (medians)
+    others = [med[o] for o in ("RCM", "GP", "HP", "original")]
+    assert med["AMD"] < min(others)
+    assert med["ND"] < min(others)
+    # the others typically still better than the original order
+    assert med["RCM"] < med["original"]

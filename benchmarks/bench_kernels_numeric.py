@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the numeric SpMV kernels themselves.
+
+These time the actual Python/numpy execution (not the machine model):
+useful for tracking performance regressions of the substrate and for
+verifying that the 2D kernel's partial-row handling costs little.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import stencil_2d
+from repro.spmv import schedule_1d, schedule_2d, spmv_1d, spmv_2d
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return stencil_2d(60, seed=0)  # 3600 rows, ~21k nnz
+
+
+@pytest.fixture(scope="module")
+def x(matrix):
+    return np.random.default_rng(0).standard_normal(matrix.ncols)
+
+
+def test_bench_spmv_1d(benchmark, matrix, x):
+    s = schedule_1d(matrix, 8)
+    y = benchmark(spmv_1d, matrix, x, s)
+    assert np.allclose(y, matrix.to_scipy() @ x)
+
+
+def test_bench_spmv_2d(benchmark, matrix, x):
+    s = schedule_2d(matrix, 8)
+    y = benchmark(spmv_2d, matrix, x, s)
+    assert np.allclose(y, matrix.to_scipy() @ x)
+
+
+def test_bench_reference_matvec(benchmark, matrix, x):
+    y = benchmark(matrix.matvec, x)
+    assert np.allclose(y, matrix.to_scipy() @ x)
+
+
+def test_bench_scipy_matvec(benchmark, matrix, x):
+    sp = matrix.to_scipy()
+    benchmark(lambda: sp @ x)

@@ -1,0 +1,40 @@
+"""Validation: the analytical x-traffic model vs the exact LRU simulator.
+
+Not a paper artifact — this bench audits the reproduction's central
+substitution (DESIGN.md §2): the windowed working-set model must rank
+(matrix, ordering) pairs by x traffic the same way an exact LRU cache
+simulation does, otherwise every speedup table built on it would be
+suspect.
+"""
+
+from repro.machine.validate import validate_x_traffic_model
+from repro.reorder import compute_ordering
+from repro.util import format_table
+
+
+def test_model_tracks_exact_simulator(benchmark, corpus, emit):
+    subset = [e for e in corpus if 200 <= e.nrows <= 2000][:6]
+
+    def run():
+        variants = []
+        labels = []
+        for e in subset:
+            variants.append(e.matrix)
+            labels.append(f"{e.name}/original")
+            for o in ("RCM", "GP"):
+                r = compute_ordering(e.matrix, o, nparts=16)
+                variants.append(r.apply(e.matrix))
+                labels.append(f"{e.name}/{o}")
+        return validate_x_traffic_model(variants, cache_lines=32,
+                                        labels=labels)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[lab, int(m), int(x)] for lab, m, x in
+            zip(report.labels, report.model_loads, report.exact_misses)]
+    emit("model_validation",
+         "Windowed model vs exact LRU simulator (x-line loads)\n"
+         + format_table(["matrix/ordering", "model", "exact"], rows)
+         + f"\nrank correlation: {report.rank_correlation:.3f}"
+         + f"\nmean |log error|: {report.mean_abs_log_error:.3f}")
+    assert report.rank_correlation > 0.7
+    assert report.mean_abs_log_error < 1.2

@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the reordering algorithms (wall-clock).
+
+Complements Table 5: times each algorithm on a fixed mid-size mesh via
+pytest-benchmark's statistics rather than a single shot.
+"""
+
+import pytest
+
+from repro.generators import fem_mesh_2d
+from repro.reorder import (
+    amd_ordering,
+    gp_ordering,
+    gray_ordering,
+    hp_ordering,
+    nd_ordering,
+    rcm_ordering,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return fem_mesh_2d(1200, seed=5, scrambled=True)
+
+
+def test_bench_rcm(benchmark, matrix):
+    assert benchmark(rcm_ordering, matrix).n == matrix.nrows
+
+
+def test_bench_amd(benchmark, matrix):
+    assert benchmark(amd_ordering, matrix).n == matrix.nrows
+
+
+def test_bench_gray(benchmark, matrix):
+    assert benchmark(gray_ordering, matrix).n == matrix.nrows
+
+
+def test_bench_nd(benchmark, matrix):
+    benchmark.pedantic(nd_ordering, args=(matrix,), rounds=2, iterations=1)
+
+
+def test_bench_gp(benchmark, matrix):
+    benchmark.pedantic(gp_ordering, args=(matrix,),
+                       kwargs={"nparts": 64}, rounds=2, iterations=1)
+
+
+def test_bench_hp(benchmark, matrix):
+    benchmark.pedantic(hp_ordering, args=(matrix,), rounds=1, iterations=1)

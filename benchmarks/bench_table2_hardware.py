@@ -1,0 +1,38 @@
+"""Table 2: the eight machine descriptions (configuration check).
+
+Regenerates the hardware table from :mod:`repro.machine.arch` and
+benchmarks the (trivial) lookup path, so any drift in the architecture
+constants shows up as an artifact diff.
+"""
+
+from repro.machine import TABLE2, architecture_names, get_architecture
+from repro.util import format_table
+
+
+def render_table2() -> str:
+    headers = ["", *architecture_names()]
+    rows = [
+        ["CPU"] + [TABLE2[n].cpu for n in architecture_names()],
+        ["Instr. set"] + [TABLE2[n].isa for n in architecture_names()],
+        ["Microarch."] + [TABLE2[n].microarch for n in architecture_names()],
+        ["Sockets"] + [TABLE2[n].sockets for n in architecture_names()],
+        ["Cores"] + [TABLE2[n].cores for n in architecture_names()],
+        ["L2/core [KiB]"] + [TABLE2[n].l2_per_core // 1024
+                             for n in architecture_names()],
+        ["L3/socket [MiB]"] + [TABLE2[n].l3_per_socket // 2**20
+                               for n in architecture_names()],
+        ["Bandwidth [GB/s]"] + [TABLE2[n].bandwidth / 1e9
+                                for n in architecture_names()],
+    ]
+    return "Table 2: hardware used in the modelled experiments\n" + \
+        format_table(headers, rows, floatfmt="{:.1f}")
+
+
+def test_table2_hardware(benchmark, emit):
+    text = benchmark(render_table2)
+    emit("table2_hardware", text)
+    assert "Milan B" in text
+    # the paper's GP part counts must be exactly the core counts
+    parts = sorted(get_architecture(n).gp_parts
+                   for n in architecture_names())
+    assert parts == [16, 32, 48, 64, 64, 72, 128, 128]

@@ -1,0 +1,40 @@
+"""Table 3: geometric-mean 1D speedups, orderings × architectures.
+
+Shape targets (paper Table 3): GP has the highest geometric mean on
+every machine; HP second overall; RCM above 1; AMD and Gray below 1;
+Gray worst.
+"""
+
+from repro.harness import experiment_speedups, render_geomean_table
+from repro.harness.experiments import REORDERINGS
+from repro.machine import architecture_names
+
+
+def test_table3_geomeans_1d(benchmark, full_sweep, emit):
+    study = benchmark.pedantic(
+        experiment_speedups,
+        args=(full_sweep, architecture_names(), "1d"),
+        rounds=1, iterations=1)
+    emit("table3_geomean_1d",
+         render_geomean_table(study, architecture_names(),
+                              "Table 3: geomean 1D speedups"))
+    overall = {}
+    import numpy as np
+
+    for o in REORDERINGS:
+        vals = [study.geomeans[(a, o)] for a in architecture_names()]
+        overall[o] = float(np.exp(np.mean(np.log(vals))))
+    # ranking targets
+    assert overall["GP"] == max(overall.values())
+    assert overall["Gray"] == min(overall.values())
+    assert overall["GP"] > overall["HP"] > overall["ND"] > overall["AMD"]
+    assert overall["RCM"] > 1.0
+    assert overall["AMD"] < 1.0
+    # GP best (or within 3 %) on every machine; strictly best on most
+    wins = 0
+    for a in architecture_names():
+        row = {o: study.geomeans[(a, o)] for o in REORDERINGS}
+        best = max(row.values())
+        assert row["GP"] >= 0.97 * best, a
+        wins += row["GP"] == best
+    assert wins >= len(architecture_names()) // 2

@@ -1,0 +1,41 @@
+"""Table 4: geometric-mean 2D speedups, orderings × architectures.
+
+Shape targets (paper Table 4 + §4.3): GP still leads but by less than
+in 1D; the GP and HP means shrink relative to their 1D values while
+RCM, ND, AMD and Gray all improve — the load-balancing component of
+the partitioners' advantage disappears once the kernel balances
+nonzeros itself.
+"""
+
+import numpy as np
+
+from repro.harness import experiment_speedups, render_geomean_table
+from repro.harness.experiments import REORDERINGS
+from repro.machine import architecture_names
+
+
+def _overall(study):
+    out = {}
+    for o in REORDERINGS:
+        vals = [study.geomeans[(a, o)] for a in architecture_names()]
+        out[o] = float(np.exp(np.mean(np.log(vals))))
+    return out
+
+
+def test_table4_geomeans_2d(benchmark, full_sweep, emit):
+    study2 = benchmark.pedantic(
+        experiment_speedups,
+        args=(full_sweep, architecture_names(), "2d"),
+        rounds=1, iterations=1)
+    study1 = experiment_speedups(full_sweep, architecture_names(), "1d")
+    emit("table4_geomean_2d",
+         render_geomean_table(study2, architecture_names(),
+                              "Table 4: geomean 2D speedups"))
+    o1, o2 = _overall(study1), _overall(study2)
+    # GP's and HP's advantages shrink with the balanced kernel...
+    assert o2["GP"] < o1["GP"]
+    # ...while the non-balancing orderings improve
+    for o in ("RCM", "ND", "AMD", "Gray"):
+        assert o2[o] > o1[o], o
+    # Gray remains the weakest
+    assert o2["Gray"] == min(o2.values())

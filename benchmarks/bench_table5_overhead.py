@@ -1,0 +1,38 @@
+"""Table 5: reordering time for the ten named stand-ins, versus the
+time of a single SpMV iteration.
+
+Shape targets (paper §4.7): Gray is always the fastest reordering and
+RCM usually second; ND and HP are typically the slowest; reordering
+costs span orders of magnitude relative to one SpMV iteration.
+"""
+
+import numpy as np
+
+from repro.harness import experiment_overhead
+from repro.harness.report import render_overhead_table
+
+from conftest import NAMED_SCALE
+
+ORDER = ("RCM", "AMD", "ND", "GP", "HP", "Gray")
+
+
+def test_table5_reordering_overhead(benchmark, emit):
+    rows = benchmark.pedantic(
+        experiment_overhead, kwargs={"scale": NAMED_SCALE},
+        rounds=1, iterations=1)
+    emit("table5_overhead", render_overhead_table(rows))
+
+    times = {o: np.array([r[1 + i] for r in rows])
+             for i, o in enumerate(ORDER)}
+    # Gray fastest on every matrix
+    for o in ORDER:
+        if o != "Gray":
+            assert np.all(times["Gray"] <= times[o]), o
+    # RCM second-fastest in the median
+    med = {o: float(np.median(v)) for o, v in times.items()}
+    ranked = sorted(med, key=med.get)
+    assert ranked[0] == "Gray"
+    assert ranked[1] == "RCM"
+    # ND and HP among the slowest two or three
+    assert set(ranked[-3:]) >= {"HP"}
+    assert "ND" in ranked[-3:] or "GP" in ranked[-3:]

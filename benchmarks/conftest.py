@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+All benches share one corpus, one ordering cache (persisted on disk, so
+re-runs skip the expensive reordering pass) and one full measurement
+sweep.  Set ``REPRO_BENCH_TIER=small`` (or ``medium``) for a larger
+corpus closer to the paper's scale — the default ``tiny`` keeps the
+full suite in the minutes range on one core.
+
+Rendered tables/figures are printed (visible with ``pytest -s``) and
+also written under ``benchmarks/output/`` so the artifacts persist.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.generators import build_corpus
+from repro.harness import OrderingCache, run_sweep
+from repro.harness.experiments import REORDERINGS
+from repro.machine import architecture_names, get_architecture
+
+TIER = os.environ.get("REPRO_BENCH_TIER", "tiny")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+OUTPUT_DIR = Path(__file__).parent / "output" / TIER
+CACHE_DIR = Path(__file__).parent / f".ordering_cache_{TIER}_{SEED}"
+#: scale of the named stand-in matrices used by Figures 1/4 & Table 5
+NAMED_SCALE = {"tiny": 0.25, "small": 1.0, "medium": 2.0}[TIER]
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return build_corpus(TIER, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def ordering_cache():
+    return OrderingCache(path=str(CACHE_DIR))
+
+
+@pytest.fixture(scope="session")
+def all_architectures():
+    return [get_architecture(n) for n in architecture_names()]
+
+
+@pytest.fixture(scope="session")
+def full_sweep(corpus, all_architectures, ordering_cache):
+    """The complete measurement sweep behind Figures 2/3 and Tables 3/4."""
+    return run_sweep(corpus, all_architectures, list(REORDERINGS),
+                     cache=ordering_cache, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered artifact and persist it under benchmarks/output."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

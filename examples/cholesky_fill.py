@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fill-reducing orderings for sparse Cholesky (paper §4.6 / Figure 6).
+
+Direct solvers care about a different objective than SpMV: the number
+of nonzeros the factor L gains over A.  This example reproduces the
+§4.6 comparison on a few SPD matrices: AMD and ND should produce the
+least fill, RCM/GP/HP less but usually still better than the original
+order, and Gray is excluded because a row-only permutation cannot
+precondition a symmetric factorisation.
+
+Run:  python examples/cholesky_fill.py
+"""
+
+from repro.cholesky import cholesky_nnz, elimination_tree, fill_ratio
+from repro.generators import fem_mesh_2d, stencil_2d, stencil_3d
+from repro.reorder import compute_ordering
+from repro.util import format_table
+
+MATRICES = [
+    ("2D stencil 32x32 (scrambled)",
+     lambda: stencil_2d(32, seed=0, scrambled=True)),
+    ("3D stencil 10^3 (scrambled)",
+     lambda: stencil_3d(10, seed=1, scrambled=True)),
+    ("FE mesh, 1500 nodes", lambda: fem_mesh_2d(1500, seed=2,
+                                                scrambled=True)),
+]
+
+ORDERINGS = ("RCM", "AMD", "ND", "GP", "HP")
+
+
+def main() -> None:
+    for description, build in MATRICES:
+        a = build()
+        print(f"\n== {description}: n={a.nrows}, nnz(A)={a.nnz} ==")
+        rows = [["original", f"{fill_ratio(a):.2f}", "-"]]
+        base = fill_ratio(a)
+        for name in ORDERINGS:
+            ordering = compute_ordering(a, name, nparts=64)
+            ratio = fill_ratio(a, ordering)
+            rows.append([name, f"{ratio:.2f}",
+                         f"{(1 - ratio / base) * 100:+.0f}%"])
+        print(format_table(["ordering", "nnz(L)/nnz(A)",
+                            "fill vs original"], rows))
+
+    # bonus: elimination-tree shape under the best ordering
+    a = stencil_2d(16, seed=3, scrambled=True)
+    nd = compute_ordering(a, "ND")
+    b = nd.apply(a).pattern_only()
+    parent = elimination_tree(b)
+    depth = 0
+    for j in range(b.nrows):
+        d, k = 0, j
+        while parent[k] != -1:
+            k = int(parent[k])
+            d += 1
+        depth = max(depth, d)
+    print(f"\nND elimination tree: height {depth} over {b.nrows} "
+          f"columns, nnz(L)={cholesky_nnz(b)} — short, bushy trees "
+          "are what make ND factorisations parallelise well.")
+
+
+if __name__ == "__main__":
+    main()

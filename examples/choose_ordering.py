@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Choosing a reordering for *your* workload — the paper's §4.7 advice.
+
+The study's practical guidance: a reordering pays off only when the
+SpMV-iteration savings amortise the reordering cost.  This example
+walks several realistic workloads (iterative solver, one-shot graph
+analytics, repeated simulation) through that decision:
+
+1. measure the actual reordering cost of each algorithm,
+2. model the SpMV speedup on the target machine,
+3. compute the break-even iteration count (§4.7's formula),
+4. recommend an ordering given the workload's iteration budget.
+
+Run:  python examples/choose_ordering.py
+"""
+
+from repro.generators import kkt_matrix, powerlaw_graph, road_network
+from repro.harness.experiments import amortization_iterations
+from repro.machine import PerfModel, get_architecture
+from repro.reorder import compute_ordering
+from repro.spmv import schedule_1d
+from repro.util import format_table
+
+WORKLOADS = [
+    # (description, matrix builder, SpMV iterations the app will run)
+    ("CG solver on a KKT system (10k iterations)",
+     lambda: kkt_matrix(4000, seed=1, scrambled=True), 10_000),
+    ("one-shot PageRank-ish sweep on a web graph (50 iterations)",
+     lambda: powerlaw_graph(3000, m=5, clusters=40, seed=2), 50),
+    ("transient simulation on a road network (1M iterations)",
+     lambda: road_network(3600, seed=3), 1_000_000),
+]
+
+CANDIDATES = ("RCM", "AMD", "ND", "GP", "HP", "Gray")
+
+
+def main() -> None:
+    arch = get_architecture("Ice Lake")
+    model = PerfModel(arch)
+    for description, build, budget in WORKLOADS:
+        a = build()
+        base = model.predict(a, schedule_1d(a, arch.threads))
+        print(f"\n== {description} ==")
+        print(f"   matrix {a.nrows} rows / {a.nnz} nnz on {arch.name}; "
+              f"baseline {base.gflops:.1f} Gflop/s (modelled)")
+        rows = []
+        best = ("keep original order", 0.0)
+        for name in CANDIDATES:
+            ordering = compute_ordering(a, name, nparts=arch.gp_parts)
+            b = ordering.apply(a)
+            pred = model.predict(b, schedule_1d(b, arch.threads))
+            speedup = pred.gflops / base.gflops
+            break_even = amortization_iterations(
+                ordering.seconds, base.seconds, speedup)
+            pays_off = break_even <= budget
+            if pays_off:
+                # net time saved over the whole workload
+                saved = (budget * base.seconds * (1 - 1 / speedup)
+                         - ordering.seconds)
+                if saved > best[1]:
+                    best = (name, saved)
+            rows.append([
+                name, f"{speedup:.2f}x", f"{ordering.seconds:.2f}s",
+                ("never" if break_even == float("inf")
+                 else f"{break_even:,.0f}"),
+                "yes" if pays_off else "no",
+            ])
+        print(format_table(
+            ["ordering", "speedup", "reorder cost", "break-even iters",
+             f"pays off at {budget:,}?"], rows))
+        print(f"   recommendation: {best[0]}"
+              + (f" (saves {best[1]:.2f}s net)" if best[1] else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reorder a Matrix Market file from the command line.
+
+Usage:
+    python examples/matrix_market_tool.py INPUT.mtx ORDERING [OUTPUT.mtx]
+
+ORDERING is one of RCM, AMD, ND, GP, HP, Gray.  Prints the §3.2 feature
+changes; with OUTPUT.mtx given, writes the reordered matrix.  With no
+arguments, demonstrates on a generated file in a temp directory.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.features import bandwidth, offdiagonal_nonzeros, profile
+from repro.matrix import read_matrix_market, write_matrix_market
+from repro.reorder import compute_ordering
+from repro.util import format_table
+
+
+def reorder_file(inp: str, ordering_name: str, out: str | None) -> None:
+    a = read_matrix_market(inp)
+    print(f"read {inp}: {a.nrows} x {a.ncols}, nnz={a.nnz}")
+    ordering = compute_ordering(a, ordering_name, nparts=64)
+    b = ordering.apply(a)
+    rows = [
+        ["bandwidth", bandwidth(a), bandwidth(b)],
+        ["profile", profile(a), profile(b)],
+        ["offdiag (64 blocks)", offdiagonal_nonzeros(a, 64),
+         offdiagonal_nonzeros(b, 64)],
+    ]
+    print(format_table(["feature", "before", f"after {ordering_name}"],
+                       rows))
+    print(f"reordering took {ordering.seconds:.3f}s "
+          f"({'symmetric' if ordering.symmetric else 'rows only'})")
+    if out:
+        write_matrix_market(b, out)
+        print(f"wrote {out}")
+
+
+def demo() -> None:
+    """Self-contained demo: generate, write, reorder, verify."""
+    from repro.generators import fem_mesh_2d
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "demo.mtx"
+        write_matrix_market(fem_mesh_2d(800, seed=4, scrambled=True), path)
+        reorder_file(str(path), "RCM", str(Path(tmp) / "demo_rcm.mtx"))
+        back = read_matrix_market(Path(tmp) / "demo_rcm.mtx")
+        print(f"round-trip check: re-read nnz={back.nnz}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 3:
+        reorder_file(sys.argv[1], sys.argv[2],
+                     sys.argv[3] if len(sys.argv) > 3 else None)
+    else:
+        print("no arguments given - running the built-in demo\n")
+        demo()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Predicting the best reordering from matrix features (paper §6).
+
+The paper's future-work list ends with "use machine learning to predict
+the most effective reordering algorithm".  This example does exactly
+that with the library's two predictors:
+
+1. the rule model distilled from the paper's findings (zero training),
+2. a nearest-centroid model *trained on an actual sweep* of the
+   corpus, evaluated on held-out matrices.
+
+Run:  python examples/predict_ordering.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    NearestCentroidPredictor,
+    extract_features,
+    recommend_ordering,
+)
+from repro.generators import build_corpus
+from repro.harness import OrderingCache, run_sweep
+from repro.harness.experiments import REORDERINGS
+from repro.machine import get_architecture
+from repro.util import format_table
+
+
+def main() -> None:
+    arch = get_architecture("Milan B")
+    corpus = build_corpus("tiny", seed=0)
+    rng = np.random.default_rng(0)
+    idx = rng.permutation(len(corpus))
+    train = [corpus[i] for i in idx[: 2 * len(corpus) // 3]]
+    test = [corpus[i] for i in idx[2 * len(corpus) // 3:]]
+
+    print(f"sweeping {len(train)} training matrices on {arch.name} ...")
+    sweep = run_sweep(train, [arch], list(REORDERINGS),
+                      cache=OrderingCache())
+    feats, labels = NearestCentroidPredictor.labels_from_sweep(
+        sweep, train, "1d", arch.name)
+    model = NearestCentroidPredictor().fit(feats, labels)
+    print(f"training labels: { {l: labels.count(l) for l in set(labels)} }")
+
+    # evaluate on held-out matrices: does the predicted ordering come
+    # close to the best achievable speedup?
+    test_sweep = run_sweep(test, [arch], list(REORDERINGS),
+                           cache=OrderingCache())
+    rows = []
+    regrets = []
+    for entry in test:
+        perf = {"original": test_sweep.lookup(
+            entry.name, "original", "1d", arch.name).gflops_max}
+        for o in REORDERINGS:
+            perf[o] = test_sweep.lookup(entry.name, o, "1d",
+                                        arch.name).gflops_max
+        truth = max(perf, key=perf.get)
+        learned = model.predict(extract_features(entry.matrix))
+        rule = recommend_ordering(entry.matrix, nthreads=arch.threads)
+        regret = perf[truth] / perf[learned]
+        regrets.append(regret)
+        rows.append([entry.name, truth, learned, rule,
+                     f"{regret:.2f}x"])
+    print(format_table(
+        ["matrix", "actual best", "learned pick", "rule pick",
+         "best/learned"], rows))
+    print(f"\nmean regret of the learned predictor: "
+          f"{np.mean(regrets):.2f}x (1.00x = always picked the best)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: reorder one matrix with all six algorithms and compare.
+
+Generates a scrambled finite-element matrix (a typical SuiteSparse-like
+input), applies RCM / AMD / ND / GP / HP / Gray, and reports for every
+ordering the §3.2 matrix features plus the modelled SpMV performance of
+the 1D and 2D kernels on the 128-core AMD Milan B machine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.features import bandwidth, imbalance_factor_1d, offdiagonal_nonzeros, profile
+from repro.generators import fem_mesh_2d
+from repro.machine import PerfModel, get_architecture
+from repro.reorder import ALL_ORDERINGS, compute_ordering
+from repro.spmv import schedule_1d, schedule_2d
+from repro.util import format_table
+
+
+def main() -> None:
+    # a mesh matrix whose native order was destroyed (hash order, etc.)
+    a = fem_mesh_2d(2000, seed=7, scrambled=True)
+    arch = get_architecture("Milan B")
+    model = PerfModel(arch)
+    print(f"matrix: {a.nrows} x {a.ncols}, {a.nnz} nonzeros; "
+          f"machine: {arch.name} ({arch.cores} cores)\n")
+
+    rows = []
+    base_1d = base_2d = None
+    for name in ALL_ORDERINGS:
+        ordering = compute_ordering(a, name, nparts=arch.gp_parts)
+        b = ordering.apply(a)
+        g1 = model.predict(b, schedule_1d(b, arch.threads)).gflops
+        g2 = model.predict(b, schedule_2d(b, arch.threads)).gflops
+        if name == "original":
+            base_1d, base_2d = g1, g2
+        rows.append([
+            name,
+            bandwidth(b),
+            profile(b),
+            offdiagonal_nonzeros(b, arch.threads),
+            f"{imbalance_factor_1d(b, arch.threads):.2f}",
+            f"{g1 / base_1d:.2f}x",
+            f"{g2 / base_2d:.2f}x",
+            f"{ordering.seconds:.2f}s",
+        ])
+    print(format_table(
+        ["ordering", "bandwidth", "profile", "offdiag", "imb(1D)",
+         "speedup 1D", "speedup 2D", "reorder time"],
+        rows))
+    print("\nReading guide: GP/HP cluster nonzeros into diagonal blocks "
+          "(low offdiag) and win; RCM narrows the band; Gray only "
+          "permutes rows and typically loses (paper Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

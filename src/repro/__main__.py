@@ -1,0 +1,7 @@
+"""``python -m repro`` — command-line interface."""
+
+import sys
+
+from .harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,76 @@
+"""The six-class taxonomy of reordering scenarios (paper §4.4).
+
+A (matrix, ordering) pair is classified from three observables:
+
+* ``s1`` — 1D SpMV speedup after reordering,
+* ``s2`` — 2D SpMV speedup after reordering,
+* imbalance factors of the 1D split before/after reordering.
+
+======  =========================================================
+class   meaning (paper Figure 4)
+======  =========================================================
+1       balanced before & after; speedup in BOTH kernels
+        (pure data-locality win)
+2       imbalance improved AND speedup in both kernels
+        (locality + load-balance win)
+3       speedup only in 1D (load-balance win only)
+4       no significant change in either kernel
+5       1D slowdown caused by *introduced* imbalance; 2D unaffected
+6       anything else (mixed/diverse behaviour)
+======  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CLASS_DESCRIPTIONS = {
+    1: "locality win: balanced before and after, both kernels speed up",
+    2: "locality + balance win: imbalance drops, both kernels speed up",
+    3: "balance win only: 1D speeds up, 2D unchanged",
+    4: "neutral: no significant change in either kernel",
+    5: "harmful imbalance: 1D slows down from introduced imbalance",
+    6: "mixed: behaviour not captured by classes 1-5",
+}
+
+#: relative change below which a speedup counts as "no change"
+NEUTRAL_BAND = 0.05
+#: imbalance-factor change considered significant
+IMBALANCE_DELTA = 0.1
+
+
+@dataclass(frozen=True)
+class ClassificationInput:
+    """Observables for one (matrix, ordering) pair."""
+
+    speedup_1d: float
+    speedup_2d: float
+    imbalance_before: float
+    imbalance_after: float
+
+
+def classify_matrix(obs: ClassificationInput) -> int:
+    """Assign the §4.4 class for one (matrix, ordering) observation."""
+    up1 = obs.speedup_1d > 1.0 + NEUTRAL_BAND
+    up2 = obs.speedup_2d > 1.0 + NEUTRAL_BAND
+    down1 = obs.speedup_1d < 1.0 - NEUTRAL_BAND
+    flat2 = abs(obs.speedup_2d - 1.0) <= NEUTRAL_BAND
+    balanced_before = obs.imbalance_before <= 1.0 + IMBALANCE_DELTA
+    balanced_after = obs.imbalance_after <= 1.0 + IMBALANCE_DELTA
+    improved_balance = (obs.imbalance_before - obs.imbalance_after
+                        > IMBALANCE_DELTA)
+    worsened_balance = (obs.imbalance_after - obs.imbalance_before
+                        > IMBALANCE_DELTA)
+
+    if up1 and up2 and balanced_before and balanced_after:
+        return 1
+    if up1 and up2 and improved_balance:
+        return 2
+    if up1 and flat2:
+        return 3
+    if abs(obs.speedup_1d - 1.0) <= NEUTRAL_BAND and flat2:
+        return 4
+    if down1 and worsened_balance and not (obs.speedup_2d
+                                           < 1.0 - NEUTRAL_BAND):
+        return 5
+    return 6

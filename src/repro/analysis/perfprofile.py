@@ -1,0 +1,60 @@
+"""Dolan–Moré performance profiles (paper Figure 5).
+
+Given per-matrix costs of several methods (lower is better), the
+profile of method m is the function
+
+``ρ_m(τ) = |{ problems p : cost_m(p) ≤ τ · min_k cost_k(p) }| / |P|``
+
+— the fraction of problems on which m is within a factor τ of the best
+method.  A curve closer to the top-left is better.  ``ρ_m(1)`` is the
+fraction of problems where m *is* the best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import HarnessError
+
+
+def performance_profile(costs: dict, taus: np.ndarray | None = None) -> dict:
+    """Compute profiles for ``costs``: method name → array of per-problem
+    costs (all arrays equally long, lower = better).
+
+    Zero costs are allowed (e.g. a zero off-diagonal count): a method is
+    "within factor τ" of a zero best only if its own cost is zero.
+
+    Returns ``{"tau": taus, method: rho_values}``.
+    """
+    if not costs:
+        raise HarnessError("no methods given")
+    lengths = {len(v) for v in costs.values()}
+    if len(lengths) != 1:
+        raise HarnessError(f"cost vectors have differing lengths {lengths}")
+    nproblems = lengths.pop()
+    if nproblems == 0:
+        raise HarnessError("no problems given")
+    mat = np.array([np.asarray(costs[m], dtype=np.float64)
+                    for m in costs])
+    if np.any(mat < 0):
+        raise HarnessError("costs must be non-negative")
+    best = mat.min(axis=0)
+    if taus is None:
+        taus = np.concatenate([np.linspace(1.0, 3.0, 41),
+                               np.linspace(3.2, 10.0, 35)])
+    out = {"tau": taus}
+    for row, name in zip(mat, costs):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(best > 0, row / best,
+                             np.where(row == 0, 1.0, np.inf))
+        rho = (ratio[None, :] <= taus[:, None]).mean(axis=1)
+        out[name] = rho
+    return out
+
+
+def profile_at(profiles: dict, method: str, tau: float) -> float:
+    """ρ_method(τ), interpolated on the computed grid."""
+    taus = profiles["tau"]
+    if method not in profiles:
+        raise HarnessError(f"unknown method {method!r}")
+    return float(np.interp(tau, taus, profiles[method]))

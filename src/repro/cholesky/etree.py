@@ -1,0 +1,49 @@
+"""Elimination tree of a symmetric sparse matrix (Liu's algorithm).
+
+``parent[j]`` is the parent of column j in the elimination tree of the
+Cholesky factorisation A = LLᵀ, or ``-1`` for roots.  Liu's algorithm
+runs in near-linear time using path compression over "virtual roots"
+(ancestor links).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CholeskyError
+from ..matrix.csr import CSRMatrix
+from ..matrix.symmetry import is_pattern_symmetric
+from ..util.validate import require
+
+
+def elimination_tree(a: CSRMatrix) -> np.ndarray:
+    """Compute the etree parent array for pattern-symmetric square ``a``.
+
+    Only the lower-triangular pattern is consulted (row i's entries with
+    column < i), as in the standard formulation.
+    """
+    require(a.is_square, CholeskyError,
+            f"elimination tree needs a square matrix, got {a.shape}")
+    require(is_pattern_symmetric(a), CholeskyError,
+            "elimination tree needs a structurally symmetric matrix; "
+            "symmetrise the pattern first")
+    n = a.nrows
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    rowptr, colidx = a.rowptr, a.colidx
+    for i in range(n):
+        for p in range(int(rowptr[i]), int(rowptr[i + 1])):
+            k = int(colidx[p])
+            if k >= i:
+                break  # columns sorted: rest are upper triangle
+            # walk from k to the root of its current subtree, compressing
+            while True:
+                r = int(ancestor[k])
+                ancestor[k] = i
+                if r == -1:
+                    parent[k] = i
+                    break
+                if r == i:
+                    break
+                k = r
+    return parent

@@ -1,0 +1,52 @@
+"""Depth-first postorder of an elimination tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CholeskyError
+
+
+def etree_postorder(parent: np.ndarray) -> np.ndarray:
+    """Postorder permutation of the forest given by ``parent``.
+
+    Children are visited in ascending index order; roots likewise.  The
+    result maps postorder position → vertex.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.size
+    if n and parent.max(initial=-1) >= n:
+        raise CholeskyError("parent array has out-of-range entries")
+    # build child lists (CSR-style)
+    nchild = np.zeros(n + 1, dtype=np.int64)
+    for j in range(n):
+        p = int(parent[j])
+        if p >= 0:
+            nchild[p + 1] += 1
+    headptr = np.cumsum(nchild)
+    children = np.zeros(n, dtype=np.int64)
+    fill = headptr[:-1].copy()
+    for j in range(n):
+        p = int(parent[j])
+        if p >= 0:
+            children[fill[p]] = j
+            fill[p] += 1
+    post = np.empty(n, dtype=np.int64)
+    idx = 0
+    # iterative DFS over every root
+    for root in range(n):
+        if parent[root] != -1:
+            continue
+        stack = [(root, 0)]
+        while stack:
+            v, ci = stack.pop()
+            lo, hi = int(headptr[v]), int(headptr[v + 1])
+            if ci < hi - lo:
+                stack.append((v, ci + 1))
+                stack.append((int(children[lo + ci]), 0))
+            else:
+                post[idx] = v
+                idx += 1
+    if idx != n:
+        raise CholeskyError("parent array contains a cycle")
+    return post

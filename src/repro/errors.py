@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Specific subclasses
+exist for the major subsystems; they carry enough context in their
+message to diagnose the failing input without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class MatrixFormatError(ReproError):
+    """A sparse matrix container was constructed from inconsistent data.
+
+    Examples: row pointers that are not monotone, column indices out of
+    range, value/index length mismatch, or a Matrix Market file whose
+    header does not match its body.
+    """
+
+
+class PermutationError(ReproError):
+    """A permutation vector is not a valid bijection on ``range(n)``."""
+
+
+class PartitionError(ReproError):
+    """A (hyper)graph partitioner received an invalid request or produced
+    an invalid partition (e.g. a part count below 1, or an assignment
+    vector with out-of-range part ids)."""
+
+
+class ReorderingError(ReproError):
+    """A reordering algorithm could not produce an ordering for the given
+    matrix (e.g. a symmetric-only method applied without symmetrisation)."""
+
+
+class ScheduleError(ReproError):
+    """An SpMV thread schedule is inconsistent with the matrix it was
+    built for (wrong nnz coverage, overlapping ranges, bad thread count)."""
+
+
+class ArchitectureError(ReproError):
+    """An unknown architecture name was requested, or an architecture
+    description is internally inconsistent (e.g. zero cores)."""
+
+
+class CholeskyError(ReproError):
+    """Symbolic Cholesky analysis was attempted on an unsuitable matrix
+    (non-square or structurally unsymmetric pattern)."""
+
+
+class GeneratorError(ReproError):
+    """A synthetic matrix generator received out-of-domain parameters."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness was misconfigured (unknown experiment id,
+    empty corpus, missing ordering results, ...)."""

@@ -1,0 +1,18 @@
+"""Matrix bandwidth: ``max |i - j|`` over nonzeros (paper §3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+
+
+def bandwidth(a: CSRMatrix) -> int:
+    """The largest distance of any nonzero to the main diagonal.
+
+    Zero for empty and diagonal matrices.
+    """
+    if a.nnz == 0:
+        return 0
+    rows = a.row_of_entry()
+    return int(np.abs(rows - a.colidx).max())

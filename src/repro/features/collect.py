@@ -1,0 +1,40 @@
+"""Bundle all order-sensitive features of a matrix into one record."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..matrix.csr import CSRMatrix
+from .bandwidth import bandwidth
+from .imbalance import imbalance_factor_1d
+from .offdiag import offdiagonal_nonzeros
+from .profile import profile
+
+
+@dataclass(frozen=True)
+class FeatureRecord:
+    """The §3.2 feature vector for one (matrix, thread-count) pair."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    bandwidth: int
+    profile: int
+    offdiag_nnz: int
+    imbalance_1d: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def collect_features(a: CSRMatrix, nthreads: int) -> FeatureRecord:
+    """Compute every feature for ``a`` under a ``nthreads``-way 1D split."""
+    return FeatureRecord(
+        nrows=a.nrows,
+        ncols=a.ncols,
+        nnz=a.nnz,
+        bandwidth=bandwidth(a),
+        profile=profile(a),
+        offdiag_nnz=offdiagonal_nonzeros(a, nthreads),
+        imbalance_1d=imbalance_factor_1d(a, nthreads),
+    )

@@ -1,0 +1,28 @@
+"""Load imbalance factor (paper §3.2).
+
+``max(nonzeros per thread) / mean(nonzeros per thread)`` for a given
+schedule: 1.0 means perfectly balanced.  The 2D schedule is balanced by
+construction (its factor is ~1.0 up to integer rounding, paper
+footnote 1); the 1D schedule's factor is a genuine matrix feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..spmv.schedule import Schedule, schedule_1d
+
+
+def imbalance_factor(schedule: Schedule) -> float:
+    """Max-over-mean nonzeros per thread for ``schedule``."""
+    per_thread = schedule.nnz_per_thread()
+    mean = per_thread.mean()
+    if mean == 0:
+        return 1.0
+    return float(per_thread.max() / mean)
+
+
+def imbalance_factor_1d(a: CSRMatrix, nthreads: int) -> float:
+    """Imbalance of the 1D row split with ``nthreads`` threads."""
+    return imbalance_factor(schedule_1d(a, nthreads))

@@ -1,0 +1,69 @@
+"""Additional locality metrics (paper §6 future work: "new metrics to
+analyze reordering algorithms").
+
+Beyond the four §3.2 features, three metrics with finer locality
+resolution, all order-sensitive:
+
+* :func:`mean_column_span` — average over rows of (max col − min col);
+  Temam & Jalby's cache-behaviour analysis shows the per-row span
+  governs how much of x a row's dot product touches.
+* :func:`adjacent_row_overlap` — average Jaccard overlap of the column
+  sets of consecutive rows; the quantity the TSP orderings maximise.
+* :func:`row_length_entropy` — Shannon entropy (bits) of the row-length
+  distribution; low entropy = predictable inner-loop trip counts, the
+  branch-prediction effect the Gray ordering targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+
+
+def mean_column_span(a: CSRMatrix) -> float:
+    """Average per-row distance between first and last nonzero column."""
+    if a.nnz == 0:
+        return 0.0
+    lengths = a.row_lengths()
+    nonempty = np.flatnonzero(lengths > 0)
+    first = a.colidx[a.rowptr[nonempty]]
+    last = a.colidx[a.rowptr[nonempty] + lengths[nonempty] - 1]
+    return float((last - first).mean())
+
+
+def adjacent_row_overlap(a: CSRMatrix, sample: int | None = None,
+                         seed=0) -> float:
+    """Mean Jaccard similarity of consecutive rows' column sets.
+
+    ``sample`` bounds the number of row pairs examined (uniformly
+    sampled) so the metric stays cheap on large matrices.
+    """
+    if a.nrows < 2 or a.nnz == 0:
+        return 0.0
+    pairs = np.arange(a.nrows - 1)
+    if sample is not None and sample < pairs.size:
+        rng = np.random.default_rng(seed)
+        pairs = np.sort(rng.choice(pairs, size=sample, replace=False))
+    total = 0.0
+    counted = 0
+    for i in pairs:
+        ci, _ = a.row_slice(int(i))
+        cj, _ = a.row_slice(int(i) + 1)
+        if ci.size == 0 and cj.size == 0:
+            continue
+        inter = np.intersect1d(ci, cj, assume_unique=True).size
+        union = ci.size + cj.size - inter
+        total += inter / union
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def row_length_entropy(a: CSRMatrix) -> float:
+    """Shannon entropy (bits) of the row-length histogram."""
+    lengths = a.row_lengths()
+    if lengths.size == 0:
+        return 0.0
+    counts = np.bincount(lengths)
+    p = counts[counts > 0] / lengths.size
+    return float(-(p * np.log2(p)).sum())

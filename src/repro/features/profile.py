@@ -1,0 +1,28 @@
+"""Matrix profile (envelope size), Gibbs et al. (paper §3.2).
+
+``profile(A) = Σ_i  (i − min{ j : a_ij ≠ 0 })``
+
+For rows whose leftmost entry lies right of the diagonal the distance
+is clamped at zero (the envelope definition assumes entries up to the
+diagonal; a strictly upper-triangular row contributes nothing).  Empty
+rows contribute nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+
+
+def profile(a: CSRMatrix) -> int:
+    """Sum over rows of the distance from the leftmost entry to the
+    diagonal."""
+    if a.nnz == 0:
+        return 0
+    lengths = a.row_lengths()
+    nonempty = np.flatnonzero(lengths > 0)
+    # first entry of each nonempty row is its minimum column (CSR sorted)
+    first_cols = a.colidx[a.rowptr[nonempty]]
+    dist = np.maximum(nonempty - first_cols, 0)
+    return int(dist.sum())

@@ -1,0 +1,63 @@
+"""Synthetic sparse-matrix generators — the SuiteSparse stand-in corpus.
+
+The paper evaluates on 490 matrices from the SuiteSparse Matrix
+Collection.  That data is not available offline, so this subpackage
+generates matrices spanning the same structural families the collection
+covers (and from which the paper's named examples are drawn):
+
+======================  =======================================  =====================
+family                  generator                                SuiteSparse exemplars
+======================  =======================================  =====================
+2D/3D PDE stencils      :func:`stencil_2d` / :func:`stencil_3d`  nlpkkt*, 333SP-ish
+finite-element meshes   :func:`fem_mesh_2d`, :func:`fem_3d_blocks`  audikw_1, Flan_1565
+road networks           :func:`road_network`                     europe_osm
+k-mer / random sparse   :func:`kmer_graph`                       kmer_V1r
+power-law (web/social)  :func:`rmat_graph`, :func:`powerlaw_graph`  kron_g500, indochina
+banded / pre-ordered    :func:`banded_matrix`                    pre-RCM'd problems
+Mycielskian              :func:`mycielskian_graph`               mycielskian19
+saddle-point (KKT)      :func:`kkt_matrix`                       nlpkkt240
+Erdős–Rényi             :func:`random_er`                        uniform random baselines
+circuit/semiconductor   :func:`circuit_matrix`                   Freescale2
+CFD block rows          :func:`cfd_blocks`                       HV15R
+======================  =======================================  =====================
+
+All generators take a ``seed`` and are deterministic given it.
+:mod:`repro.generators.suite` assembles the named corpus used by the
+benchmark harness, including per-name stand-ins for the matrices the
+paper calls out in Figures 1 & 4 and Table 5.
+"""
+
+from .stencil import stencil_2d, stencil_3d
+from .fem import fem_mesh_2d, fem_3d_blocks
+from .roadnet import road_network
+from .kmer import kmer_graph
+from .rmat import rmat_graph
+from .powerlaw import powerlaw_graph
+from .banded import banded_matrix
+from .mycielskian import mycielskian_graph
+from .kkt import kkt_matrix
+from .randomer import random_er
+from .circuit import circuit_matrix
+from .cfd import cfd_blocks
+from .suite import CorpusEntry, build_corpus, named_matrix, corpus_names
+
+__all__ = [
+    "stencil_2d",
+    "stencil_3d",
+    "fem_mesh_2d",
+    "fem_3d_blocks",
+    "road_network",
+    "kmer_graph",
+    "rmat_graph",
+    "powerlaw_graph",
+    "banded_matrix",
+    "mycielskian_graph",
+    "kkt_matrix",
+    "random_er",
+    "circuit_matrix",
+    "cfd_blocks",
+    "CorpusEntry",
+    "build_corpus",
+    "named_matrix",
+    "corpus_names",
+]

@@ -1,0 +1,80 @@
+"""Shared helpers for matrix generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeneratorError
+from ..matrix.build import coo_from_arrays, csr_from_coo
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+
+
+def symmetric_from_edges(n: int, u: np.ndarray, v: np.ndarray,
+                         rng, diag_boost: float = 0.0,
+                         values: np.ndarray | None = None) -> CSRMatrix:
+    """Assemble a symmetric CSR matrix from undirected edge lists.
+
+    Each edge (u, v) contributes entries at (u, v) and (v, u) with the
+    same random value.  With ``diag_boost > 0`` a full diagonal is added
+    with values ``diag_boost + row_degree`` — this makes the matrix
+    symmetric *positive definite* by diagonal dominance, which the
+    Cholesky fill experiments (paper §4.6) require.
+    """
+    rng = as_rng(rng)
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    mask = u != v
+    u, v = u[mask], v[mask]
+    if values is None:
+        values = rng.uniform(-1.0, 1.0, u.size)
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    vals = np.concatenate([values, values])
+    if diag_boost > 0.0:
+        deg = np.bincount(rows, minlength=n)
+        rows = np.concatenate([rows, np.arange(n, dtype=np.int64)])
+        cols = np.concatenate([cols, np.arange(n, dtype=np.int64)])
+        vals = np.concatenate([vals, diag_boost + deg.astype(np.float64)])
+    return csr_from_coo(coo_from_arrays(n, n, rows, cols, vals))
+
+
+def unsymmetric_from_entries(nrows: int, ncols: int, r: np.ndarray,
+                             c: np.ndarray, rng,
+                             values: np.ndarray | None = None) -> CSRMatrix:
+    """Assemble a general CSR matrix from raw (row, col) entries."""
+    rng = as_rng(rng)
+    r = np.asarray(r, dtype=np.int64)
+    c = np.asarray(c, dtype=np.int64)
+    if values is None:
+        values = rng.uniform(-1.0, 1.0, r.size)
+    return csr_from_coo(coo_from_arrays(nrows, ncols, r, c, values))
+
+
+def check_size(name: str, value: int, minimum: int = 1) -> int:
+    if value < minimum:
+        raise GeneratorError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def scramble(a: CSRMatrix, rng, fraction: float = 1.0) -> CSRMatrix:
+    """Apply a random symmetric permutation to destroy any native order.
+
+    SuiteSparse matrices arrive in application order, which is often
+    already quite good (the paper notes many matrices "already have an
+    efficient ordering").  ``fraction < 1`` permutes only a random subset
+    of indices, modelling a partially scrambled native order.
+    """
+    from ..matrix.permute import permute_symmetric
+
+    rng = as_rng(rng)
+    n = a.nrows
+    if fraction >= 1.0:
+        perm = rng.permutation(n)
+    else:
+        k = int(n * fraction)
+        perm = np.arange(n, dtype=np.int64)
+        if k >= 2:
+            idx = rng.choice(n, size=k, replace=False)
+            perm[idx] = perm[rng.permutation(idx)]
+    return permute_symmetric(a, perm)

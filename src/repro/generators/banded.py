@@ -1,0 +1,39 @@
+"""Banded matrices with controllable bandwidth and fill density.
+
+These model problems that arrive pre-ordered (e.g. 1-D discretisations
+or matrices already RCM'd by their producers) — the case where further
+reordering mostly cannot help and may hurt (paper Class 4/6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def banded_matrix(n: int, bandwidth: int, density: float = 0.5, seed=0,
+                  scrambled: bool = False, spd: bool = True) -> CSRMatrix:
+    """Symmetric banded matrix: entries within ``bandwidth`` of the
+    diagonal, each present with probability ``density``."""
+    n = check_size("n", n, 2)
+    bandwidth = check_size("bandwidth", bandwidth)
+    if not (0.0 < density <= 1.0):
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    rng = as_rng(seed)
+    bw = min(bandwidth, n - 1)
+    # candidate superdiagonal entries (i, i+d) for d in 1..bw
+    us, vs = [], []
+    for d in range(1, bw + 1):
+        i = np.arange(n - d, dtype=np.int64)
+        keep = rng.uniform(size=i.size) < density
+        us.append(i[keep])
+        vs.append(i[keep] + d)
+    u = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
+    v = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
+    a = symmetric_from_edges(n, u, v, rng, diag_boost=1.0 if spd else 0.0)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

@@ -1,0 +1,65 @@
+"""Circuit-simulation matrices (Freescale2-like, semiconductor group).
+
+Post-layout circuit matrices are unsymmetric-in-values but nearly
+pattern-symmetric, extremely sparse (2–5 nnz/row), and consist of large
+weakly-connected subcircuits joined by a power/clock network: a few
+rows (supply rails) touch a large share of all columns.  These dense
+rows are what make the 1D row split catastrophically imbalanced and
+give GP its largest wins (paper Fig. 1, Freescale2 row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def circuit_matrix(n: int, nblocks: int = 50, rail_rows: int = 4,
+                   rail_fanout: float = 0.02, seed=0,
+                   scrambled: bool = True) -> CSRMatrix:
+    """Blocked subcircuits plus a few high-fanout rail rows.
+
+    Parameters
+    ----------
+    nblocks:
+        Number of subcircuits; intra-block connectivity is a sparse ring
+        + chords, inter-block connectivity near zero.
+    rail_rows:
+        Number of power-rail vertices, each connected to
+        ``rail_fanout``·n random vertices.
+    """
+    n = check_size("n", n, 16)
+    nblocks = check_size("nblocks", min(nblocks, n // 4))
+    rng = as_rng(seed)
+    block_of = np.sort(rng.integers(0, nblocks, n - rail_rows))
+    # intra-block ring + random chords
+    us, vs = [], []
+    start = 0
+    for b in range(nblocks):
+        size = int(np.sum(block_of == b))
+        if size < 2:
+            start += size
+            continue
+        members = np.arange(start, start + size, dtype=np.int64)
+        us.append(members[:-1])
+        vs.append(members[1:])
+        nchords = size // 2
+        us.append(members[rng.integers(0, size, nchords)])
+        vs.append(members[rng.integers(0, size, nchords)])
+        start += size
+    # rails: high fanout rows at the end
+    fan = max(1, int(rail_fanout * n))
+    for r in range(rail_rows):
+        rail = n - rail_rows + r
+        targets = rng.integers(0, n - rail_rows, fan)
+        us.append(np.full(fan, rail, dtype=np.int64))
+        vs.append(targets.astype(np.int64))
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    a = symmetric_from_edges(n, u, v, rng, diag_boost=1.0)
+    if scrambled:
+        a = scramble(a, rng, fraction=0.6)
+    return a

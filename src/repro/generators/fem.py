@@ -1,0 +1,97 @@
+"""Finite-element-like mesh matrices.
+
+Structural mechanics matrices such as ``audikw_1`` or ``Flan_1565``
+come from 3-D solid meshes with several degrees of freedom per node:
+they have small dense blocks, moderate and fairly uniform row degrees,
+and good locality under mesh-aware ordering.  We model this as a random
+Delaunay-flavoured planar/volumetric mesh with a ``dofs``-way block
+expansion of every node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def _proximity_edges(points: np.ndarray, k: int, rng) -> tuple:
+    """k-nearest-neighbour edges over random points (mesh surrogate).
+
+    A true Delaunay triangulation would need scipy.spatial; kNN over the
+    same point cloud has the same local-connectivity statistics, which is
+    what matters for reordering behaviour.
+    """
+    n = points.shape[0]
+    # grid-bucketed kNN to avoid O(n^2): bucket side chosen so that a
+    # neighbourhood of 3x3 buckets holds ~>= k points on average
+    target = max(k * 3, 9)
+    nbuckets = max(1, int(np.sqrt(n / target)))
+    ij = np.minimum((points * nbuckets).astype(np.int64), nbuckets - 1)
+    bucket = ij[:, 0] * nbuckets + ij[:, 1]
+    order = np.argsort(bucket, kind="stable")
+    us, vs = [], []
+    starts = np.searchsorted(bucket[order], np.arange(nbuckets * nbuckets + 1))
+    for bx in range(nbuckets):
+        for by in range(nbuckets):
+            members = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    x, y = bx + dx, by + dy
+                    if 0 <= x < nbuckets and 0 <= y < nbuckets:
+                        b = x * nbuckets + y
+                        members.append(order[starts[b]:starts[b + 1]])
+            local = np.concatenate(members)
+            centre = order[starts[bx * nbuckets + by]:
+                           starts[bx * nbuckets + by + 1]]
+            if centre.size == 0 or local.size < 2:
+                continue
+            d = np.linalg.norm(
+                points[centre][:, None, :] - points[local][None, :, :], axis=2)
+            kk = min(k + 1, local.size)
+            nearest = np.argpartition(d, kk - 1, axis=1)[:, :kk]
+            for row, c in enumerate(centre):
+                for j in nearest[row]:
+                    other = local[j]
+                    if other != c:
+                        us.append(c)
+                        vs.append(other)
+    return np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64)
+
+
+def fem_mesh_2d(nnodes: int, k: int = 6, seed=0,
+                scrambled: bool = False) -> CSRMatrix:
+    """Planar mesh matrix: kNN graph over random 2-D points, SPD values."""
+    nnodes = check_size("nnodes", nnodes, 4)
+    rng = as_rng(seed)
+    pts = rng.uniform(size=(nnodes, 2))
+    u, v = _proximity_edges(pts, k, rng)
+    a = symmetric_from_edges(nnodes, u, v, rng, diag_boost=1.0)
+    if scrambled:
+        a = scramble(a, rng)
+    return a
+
+
+def fem_3d_blocks(nnodes: int, dofs: int = 3, k: int = 8, seed=0,
+                  scrambled: bool = False) -> CSRMatrix:
+    """Solid-mechanics surrogate: mesh nodes expanded to ``dofs`` DOFs.
+
+    Every mesh edge (i, j) becomes a dense ``dofs`` × ``dofs`` coupling
+    block, reproducing the small-dense-block structure of matrices like
+    audikw_1 (3 displacement DOFs per node).
+    """
+    nnodes = check_size("nnodes", nnodes, 4)
+    dofs = check_size("dofs", dofs)
+    rng = as_rng(seed)
+    pts = rng.uniform(size=(nnodes, 2))
+    u, v = _proximity_edges(pts, k, rng)
+    # full dofs x dofs block: cartesian product of dof offsets per edge
+    offs = np.arange(dofs, dtype=np.int64)
+    uu = (u[:, None, None] * dofs + offs[None, :, None]).ravel()
+    vv = (v[:, None, None] * dofs + offs[None, None, :]).ravel()
+    a = symmetric_from_edges(nnodes * dofs, uu, vv, rng, diag_boost=1.0)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

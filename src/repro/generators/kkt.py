@@ -1,0 +1,59 @@
+"""KKT saddle-point matrices (nlpkkt240-like).
+
+Interior-point optimisation produces 2×2 block systems
+``[[H, Jᵀ], [J, 0]]`` where H is a PDE-like Hessian and J a constraint
+Jacobian.  The native ordering interleaves primal and dual variables in
+problem order; bandwidth is moderate but the zero (2,2) block makes the
+structure distinctive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..matrix.build import coo_from_arrays, csr_from_coo
+from ..util.rng import as_rng
+from ._common import check_size, scramble
+from .stencil import _grid_edges_2d
+
+
+def kkt_matrix(nprimal: int, constraint_frac: float = 0.4, seed=0,
+               scrambled: bool = False) -> CSRMatrix:
+    """Symmetric KKT system with a grid-structured Hessian block.
+
+    ``nprimal`` is rounded to a square grid; the Jacobian couples each
+    constraint to a handful of nearby primal variables.
+    """
+    nprimal = check_size("nprimal", nprimal, 9)
+    if not (0.0 < constraint_frac < 1.0):
+        raise ValueError(
+            f"constraint_frac must be in (0, 1), got {constraint_frac}")
+    rng = as_rng(seed)
+    side = max(3, int(np.sqrt(nprimal)))
+    np_ = side * side
+    nc = max(1, int(constraint_frac * np_))
+    n = np_ + nc
+    # Hessian block: 5-point stencil + diagonal
+    hu, hv = _grid_edges_2d(side, side)
+    rows = [hu, hv, np.arange(np_, dtype=np.int64)]
+    cols = [hv, hu, np.arange(np_, dtype=np.int64)]
+    vals = [rng.uniform(-1, 1, hu.size)]
+    vals.append(vals[0])
+    vals.append(np.full(np_, 4.0) + rng.uniform(0, 1, np_))
+    # Jacobian: constraint c touches 3 consecutive primal vars at a
+    # random anchor (local constraints, like discretised equalities)
+    anchors = rng.integers(0, max(np_ - 3, 1), nc)
+    width = 3
+    ju = (np_ + np.repeat(np.arange(nc, dtype=np.int64), width))
+    jv = (anchors[:, None] + np.arange(width)[None, :]).ravel()
+    jvals = rng.uniform(-1, 1, ju.size)
+    rows += [ju, jv]
+    cols += [jv, ju]
+    vals += [jvals, jvals]
+    a = csr_from_coo(coo_from_arrays(
+        n, n, np.concatenate(rows), np.concatenate(cols),
+        np.concatenate(vals)))
+    if scrambled:
+        a = scramble(a, rng)
+    return a

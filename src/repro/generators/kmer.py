@@ -1,0 +1,47 @@
+"""k-mer graph surrogate (kmer_V1r-like, GenBank group).
+
+De Bruijn/k-mer graphs from genome sequencing have very low, almost
+constant degree (≤ 2·alphabet), essentially no geometric locality in
+their native order, and massive vertex counts.  Structurally they
+behave like a sparse random graph whose edges are drawn from long
+chains with occasional branches — the worst case for every reordering
+(the paper's Table 5 shows kmer_V1r with the most extreme reordering
+costs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def kmer_graph(nnodes: int, branch: float = 0.08, seed=0,
+               scrambled: bool = True) -> CSRMatrix:
+    """Chain-with-branches graph: degree ≈ 2, rare degree-3/4 branch points.
+
+    Built as a random permutation chain (each vertex linked to a
+    successor) plus ``branch``·n random extra edges.  The native order is
+    the *hash order* of the k-mers, i.e. random — hence ``scrambled``
+    defaults to True and the chain structure is invisible in the pattern
+    until a reordering recovers it.
+    """
+    nnodes = check_size("nnodes", nnodes, 4)
+    if branch < 0:
+        raise ValueError(f"branch must be >= 0, got {branch}")
+    rng = as_rng(seed)
+    chain = rng.permutation(nnodes).astype(np.int64)
+    u = chain[:-1]
+    v = chain[1:]
+    nextra = int(branch * nnodes)
+    if nextra:
+        eu = rng.integers(0, nnodes, nextra)
+        ev = rng.integers(0, nnodes, nextra)
+        u = np.concatenate([u, eu])
+        v = np.concatenate([v, ev])
+    a = symmetric_from_edges(nnodes, u, v, rng)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

@@ -1,0 +1,44 @@
+"""Mycielskian graphs (mycielskian19-like).
+
+The Mycielskian construction doubles a graph while raising its chromatic
+number and keeping it triangle-free.  Iterating from a small seed graph
+produces dense-ish, highly irregular adjacency patterns with no useful
+geometry — the paper's Table 5 includes mycielskian19, whose GP
+reordering time is notoriously bad relative to its size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def mycielskian_graph(iterations: int, seed=0,
+                      scrambled: bool = False) -> CSRMatrix:
+    """Iterated Mycielskian starting from a single edge (K2).
+
+    Vertex count is ``3·2^(iterations) - 1`` roughly; each iteration maps
+    a graph (V, E) to vertices V ∪ V' ∪ {w} with edges E, {u'v : uv ∈ E}
+    and {v'w : v' ∈ V'}.
+    """
+    iterations = check_size("iterations", iterations)
+    u = np.array([0], dtype=np.int64)
+    v = np.array([1], dtype=np.int64)
+    n = 2
+    for _ in range(iterations):
+        # copies: vertex i -> shadow n + i; apex: 2n
+        su = np.concatenate([u, n + u, n + v])
+        sv = np.concatenate([v, v, u])
+        apex_u = np.full(n, 2 * n, dtype=np.int64)
+        apex_v = n + np.arange(n, dtype=np.int64)
+        u = np.concatenate([su, apex_u])
+        v = np.concatenate([sv, apex_v])
+        n = 2 * n + 1
+    rng = as_rng(seed)
+    a = symmetric_from_edges(n, u, v, rng)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

@@ -1,0 +1,70 @@
+"""Preferential-attachment power-law graphs (web/social, indochina-like).
+
+Barabási–Albert-style attachment produces hubs and strong community-free
+heavy tails.  Web crawls like ``indochina-2004`` additionally contain
+host-local clusters; the ``clusters`` parameter mixes in block-local
+edges to reproduce that (these clusters are exactly what GP recovers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def powerlaw_graph(nnodes: int, m: int = 4, clusters: int = 0,
+                   intra_frac: float = 0.5, seed=0,
+                   scrambled: bool = True) -> CSRMatrix:
+    """Preferential-attachment graph with optional host-like clusters.
+
+    Parameters
+    ----------
+    m:
+        Edges added per new vertex (BA parameter).
+    clusters:
+        If > 0, vertices are assigned to this many clusters and a
+        fraction ``intra_frac`` of each vertex's edges is redirected to a
+        random member of its own cluster.
+    """
+    nnodes = check_size("nnodes", nnodes, 4)
+    m = check_size("m", m)
+    rng = as_rng(seed)
+    # vectorised BA: target of each new edge sampled from the endpoint
+    # pool (repeated-endpoint trick gives preferential attachment)
+    seeds = min(m + 1, nnodes)
+    pool = [np.arange(seeds, dtype=np.int64)]
+    pool_size = seeds
+    us, vs = [], []
+    for v in range(seeds, nnodes):
+        flat = np.concatenate(pool) if len(pool) > 1 else pool[0]
+        pool = [flat]
+        targets = flat[rng.integers(0, pool_size, m)]
+        targets = np.unique(targets)
+        us.append(np.full(targets.size, v, dtype=np.int64))
+        vs.append(targets)
+        pool.append(targets)
+        pool.append(np.full(targets.size + 1, v, dtype=np.int64))
+        pool_size += 2 * targets.size + 1
+    u = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
+    v = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
+    if clusters > 0 and u.size:
+        cluster_of = rng.integers(0, clusters, nnodes)
+        redirect = rng.uniform(size=u.size) < intra_frac
+        # redirect edge target to a random vertex of u's cluster
+        members_sorted = np.argsort(cluster_of, kind="stable").astype(np.int64)
+        starts = np.searchsorted(cluster_of[members_sorted],
+                                 np.arange(clusters + 1))
+        cu = cluster_of[u[redirect]]
+        lo = starts[cu]
+        hi = starts[cu + 1]
+        width = np.maximum(hi - lo, 1)
+        pick = lo + (rng.uniform(size=lo.size) * width).astype(np.int64)
+        v = v.copy()
+        v[redirect] = members_sorted[np.minimum(pick, starts[-1] - 1)]
+    a = symmetric_from_edges(nnodes, u, v, rng)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

@@ -1,0 +1,65 @@
+"""R-MAT / Kronecker graph generator (kron_g500-logn21-like).
+
+The Graph500 generator draws each edge by recursively descending a 2×2
+probability matrix (a, b; c, d).  The result is a heavy-tailed degree
+distribution with a few massive hub rows — the structure responsible
+for the extreme 1D load imbalance the paper analyses (Class 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+GRAPH500_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_graph(scale: int, edge_factor: int = 8,
+               probs: tuple = GRAPH500_PROBS, seed=0,
+               symmetric: bool = True, scrambled: bool = True) -> CSRMatrix:
+    """R-MAT graph with ``2**scale`` vertices and ``edge_factor``·n edges.
+
+    ``symmetric=False`` keeps the raw directed edges, producing an
+    unsymmetric pattern (exercising the A+Aᵀ symmetrisation path of the
+    symmetric orderings, §3.3).
+    """
+    scale = check_size("scale", scale)
+    edge_factor = check_size("edge_factor", edge_factor)
+    a_p, b_p, c_p, _ = probs
+    if not np.isclose(sum(probs), 1.0):
+        raise ValueError(f"probs must sum to 1, got {probs}")
+    rng = as_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.uniform(size=m)
+        go_right = (r >= a_p) & (r < a_p + b_p)
+        go_down = (r >= a_p + b_p) & (r < a_p + b_p + c_p)
+        go_diag = r >= a_p + b_p + c_p
+        src = (src << 1) | (go_down | go_diag)
+        dst = (dst << 1) | (go_right | go_diag)
+    if symmetric:
+        return _finish(n, src, dst, rng, scrambled, sym=True)
+    return _finish(n, src, dst, rng, scrambled, sym=False)
+
+
+def _finish(n, src, dst, rng, scrambled, sym):
+    if sym:
+        a = symmetric_from_edges(n, src, dst, rng)
+        if scrambled:
+            a = scramble(a, rng)
+        return a
+    from ._common import unsymmetric_from_entries
+
+    mask = src != dst
+    a = unsymmetric_from_entries(n, n, src[mask], dst[mask], rng)
+    if scrambled:
+        from ..matrix.permute import permute_symmetric
+
+        a = permute_symmetric(a, rng.permutation(n))
+    return a

@@ -1,0 +1,59 @@
+"""Road-network surrogate (europe_osm-like).
+
+Road networks are near-planar, have tiny average degree (~2.1 for OSM
+extracts), long paths, and huge diameter.  We build one as a jittered
+2-D lattice with most lattice edges kept (local roads), a sprinkling of
+edges removed (rivers/terrain), and degree-2 chain subdivision to
+reproduce the long-path character.  The native SuiteSparse order of
+such matrices is geographic and moderately local; ``scrambled`` controls
+whether we keep that or randomise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+from .stencil import _grid_edges_2d
+
+
+def road_network(nnodes: int, keep: float = 0.85, subdivide: float = 0.5,
+                 seed=0, scrambled: bool = True) -> CSRMatrix:
+    """Road-network-like symmetric pattern matrix with ~2·keep avg degree.
+
+    Parameters
+    ----------
+    nnodes:
+        Approximate vertex count (rounded to a square grid, then grown by
+        subdivision).
+    keep:
+        Fraction of lattice edges retained.
+    subdivide:
+        Fraction of retained edges split by inserting a degree-2 vertex,
+        which stretches paths exactly like road polylines do.
+    """
+    nnodes = check_size("nnodes", nnodes, 9)
+    if not (0.0 < keep <= 1.0):
+        raise ValueError(f"keep must be in (0, 1], got {keep}")
+    if not (0.0 <= subdivide <= 1.0):
+        raise ValueError(f"subdivide must be in [0, 1], got {subdivide}")
+    rng = as_rng(seed)
+    side = max(3, int(np.sqrt(nnodes)))
+    u, v = _grid_edges_2d(side, side)
+    mask = rng.uniform(size=u.size) < keep
+    u, v = u[mask], v[mask]
+    n = side * side
+    # subdivide a fraction of edges with fresh mid-vertices
+    split = rng.uniform(size=u.size) < subdivide
+    mid = np.arange(int(split.sum()), dtype=np.int64) + n
+    keep_u, keep_v = u[~split], v[~split]
+    su, sv = u[split], v[split]
+    u = np.concatenate([keep_u, su, mid])
+    v = np.concatenate([keep_v, mid, sv])
+    n += mid.size
+    a = symmetric_from_edges(n, u, v, rng, diag_boost=0.0)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

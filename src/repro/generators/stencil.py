@@ -1,0 +1,66 @@
+"""Regular PDE stencil matrices (5-point 2D, 7-point 3D).
+
+These are the archetypal "already well ordered" matrices: the natural
+row-major numbering of a grid yields a narrow band, so reordering
+typically gives little or nothing (paper Class 4 behaviour when the
+matrix fits cache).  With ``scrambled=True`` the native order is
+destroyed, producing the case where bandwidth-reducing orderings shine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+from ..util.rng import as_rng
+from ._common import check_size, scramble, symmetric_from_edges
+
+
+def _grid_edges_2d(nx: int, ny: int):
+    """Undirected edges of an nx-by-ny 4-neighbour grid."""
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    right_u = idx[:, :-1].ravel()
+    right_v = idx[:, 1:].ravel()
+    down_u = idx[:-1, :].ravel()
+    down_v = idx[1:, :].ravel()
+    return np.concatenate([right_u, down_u]), np.concatenate([right_v, down_v])
+
+
+def stencil_2d(nx: int, ny: int | None = None, seed=0,
+               scrambled: bool = False, spd: bool = True) -> CSRMatrix:
+    """5-point Laplacian-like stencil on an ``nx`` × ``ny`` grid.
+
+    ``spd=True`` adds a diagonally dominant diagonal so the matrix is
+    symmetric positive definite (usable by the Cholesky experiments).
+    """
+    nx = check_size("nx", nx)
+    ny = nx if ny is None else check_size("ny", ny)
+    rng = as_rng(seed)
+    u, v = _grid_edges_2d(nx, ny)
+    a = symmetric_from_edges(nx * ny, u, v, rng,
+                             diag_boost=1.0 if spd else 0.0)
+    if scrambled:
+        a = scramble(a, rng)
+    return a
+
+
+def stencil_3d(nx: int, ny: int | None = None, nz: int | None = None, seed=0,
+               scrambled: bool = False, spd: bool = True) -> CSRMatrix:
+    """7-point stencil on an ``nx`` × ``ny`` × ``nz`` grid."""
+    nx = check_size("nx", nx)
+    ny = nx if ny is None else check_size("ny", ny)
+    nz = nx if nz is None else check_size("nz", nz)
+    rng = as_rng(seed)
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    pairs = [
+        (idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()),
+        (idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()),
+        (idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()),
+    ]
+    u = np.concatenate([p[0] for p in pairs])
+    v = np.concatenate([p[1] for p in pairs])
+    a = symmetric_from_edges(nx * ny * nz, u, v, rng,
+                             diag_boost=1.0 if spd else 0.0)
+    if scrambled:
+        a = scramble(a, rng)
+    return a

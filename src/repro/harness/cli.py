@@ -1,0 +1,149 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``corpus``      list the synthetic corpus for a tier
+``archs``       print the Table 2 machines
+``reorder``     reorder a Matrix Market file and report feature changes
+``study``       run the speedup study (Figs 2/3, Tables 3/4) on a tier
+``recommend``   suggest an ordering for a Matrix Market file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis import recommend_ordering
+from ..features import bandwidth, offdiagonal_nonzeros, profile
+from ..generators import build_corpus
+from ..machine import architecture_names, get_architecture
+from ..matrix import read_matrix_market, write_matrix_market
+from ..reorder import ALL_ORDERINGS, compute_ordering
+from ..util import format_table
+
+
+def _cmd_corpus(args) -> int:
+    corpus = build_corpus(args.tier, seed=args.seed)
+    rows = [[e.name, e.group, e.nrows, e.nnz,
+             "SPD" if e.spd else ""] for e in corpus]
+    print(format_table(["name", "group", "rows", "nnz", ""], rows))
+    print(f"{len(corpus)} matrices, {sum(e.nnz for e in corpus):,} "
+          "total nonzeros")
+    return 0
+
+
+def _cmd_archs(_args) -> int:
+    rows = []
+    for name in architecture_names():
+        a = get_architecture(name)
+        rows.append([name, a.cpu, a.isa, a.cores,
+                     a.l3_total // 2**20, a.bandwidth / 1e9])
+    print(format_table(
+        ["name", "cpu", "isa", "cores", "L3 [MiB]", "BW [GB/s]"],
+        rows, floatfmt="{:.1f}"))
+    return 0
+
+
+def _cmd_reorder(args) -> int:
+    a = read_matrix_market(args.input)
+    ordering = compute_ordering(a, args.ordering, nparts=args.nparts)
+    b = ordering.apply(a)
+    print(format_table(
+        ["feature", "before", "after"],
+        [["bandwidth", bandwidth(a), bandwidth(b)],
+         ["profile", profile(a), profile(b)],
+         ["offdiag", offdiagonal_nonzeros(a, args.nparts),
+          offdiagonal_nonzeros(b, args.nparts)]]))
+    print(f"{args.ordering} took {ordering.seconds:.3f}s")
+    if args.output:
+        write_matrix_market(b, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    a = read_matrix_market(args.input)
+    choice = recommend_ordering(a, nthreads=args.nparts,
+                                kernel=args.kernel)
+    print(f"recommended ordering for the {args.kernel.upper()} kernel: "
+          f"{choice}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from ..machine import architecture_names as anames
+    from .experiments import REORDERINGS, experiment_speedups
+    from .report import render_boxplot_figure, render_geomean_table
+    from .runner import OrderingCache, run_sweep
+
+    corpus = build_corpus(args.tier, seed=args.seed)
+    archs = [get_architecture(n)
+             for n in (args.archs.split(",") if args.archs else anames())]
+    sweep = run_sweep(corpus, archs, list(REORDERINGS),
+                      cache=OrderingCache(path=args.cache))
+    names = [a.name for a in archs]
+    for kernel, tbl in (("1d", 3), ("2d", 4)):
+        study = experiment_speedups(sweep, names, kernel)
+        print(render_geomean_table(
+            study, names, f"Table {tbl}: geomean {kernel.upper()} "
+            "speedups"))
+        print()
+        if args.boxplots:
+            print(render_boxplot_figure(
+                study, names, f"speedup distribution ({kernel})"))
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Bringing Order to Sparsity' "
+                    "(SC '23)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="list the synthetic corpus")
+    p.add_argument("--tier", default="tiny",
+                   choices=("tiny", "small", "medium"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("archs", help="print the Table 2 machines")
+    p.set_defaults(func=_cmd_archs)
+
+    p = sub.add_parser("reorder", help="reorder a Matrix Market file")
+    p.add_argument("input")
+    p.add_argument("ordering", choices=[o for o in ALL_ORDERINGS
+                                        if o != "original"])
+    p.add_argument("--output")
+    p.add_argument("--nparts", type=int, default=64)
+    p.set_defaults(func=_cmd_reorder)
+
+    p = sub.add_parser("recommend",
+                       help="suggest an ordering for a matrix")
+    p.add_argument("input")
+    p.add_argument("--kernel", default="1d", choices=("1d", "2d"))
+    p.add_argument("--nparts", type=int, default=64)
+    p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser("study", help="run the speedup study")
+    p.add_argument("--tier", default="tiny",
+                   choices=("tiny", "small", "medium"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--archs", default="",
+                   help="comma-separated arch names (default: all 8)")
+    p.add_argument("--cache", default=None,
+                   help="directory for the ordering cache")
+    p.add_argument("--boxplots", action="store_true")
+    p.set_defaults(func=_cmd_study)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

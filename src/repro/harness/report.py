@@ -1,0 +1,109 @@
+"""Plain-text rendering of experiment results.
+
+Mirrors how the paper's artifact ships data: aligned text tables that
+can be eyeballed or fed to gnuplot.  Boxplot figures are rendered as
+ASCII five-number summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.perfprofile import profile_at
+from ..util.tables import format_boxplot_rows, format_table
+from .experiments import REORDERINGS, SpeedupStudy
+
+
+def render_geomean_table(study: SpeedupStudy, architectures,
+                         title: str) -> str:
+    """Tables 3/4: geometric-mean speedups, orderings × architectures."""
+    orderings = list(REORDERINGS)
+    rows = study.geomean_table(architectures, orderings)
+    return (f"{title}\n"
+            + format_table([study.kernel.upper()] + orderings + ["Mean"],
+                           rows))
+
+
+def render_boxplot_figure(study: SpeedupStudy, architectures,
+                          title: str, lower: float = 0.0,
+                          upper: float = 2.5) -> str:
+    """Figures 2/3: speedup boxplots per architecture and ordering."""
+    blocks = [title]
+    for arch in architectures:
+        labels = list(REORDERINGS)
+        summaries = [study.boxes[(arch, o)] for o in labels]
+        blocks.append(f"-- {arch} --")
+        blocks.append(format_boxplot_rows(labels, summaries, lower, upper))
+    return "\n".join(blocks)
+
+
+def render_fig1(showcase: dict) -> str:
+    """Figure 1: named matrices × (RCM, ND, GP) × two machines."""
+    headers = ["matrix", "arch", "RCM", "ND", "GP"]
+    rows = []
+    for (name, arch), cell in showcase.items():
+        rows.append([name, arch, cell["RCM"], cell["ND"], cell["GP"]])
+    return "Figure 1: SpMV speedup of selected reorderings\n" + \
+        format_table(headers, rows, floatfmt="{:.2f}")
+
+
+def render_classes(classes: dict) -> str:
+    """Figure 4: class representatives with speedups and imbalance."""
+    from ..analysis.classes import CLASS_DESCRIPTIONS
+
+    blocks = ["Figure 4: six-class analysis"]
+    for cls, data in sorted(classes.items()):
+        blocks.append(f"Class {cls} ({data['matrix']}): "
+                      f"{CLASS_DESCRIPTIONS[cls]}")
+        headers = ["arch", "ordering", "s1d", "s2d", "imb0", "imb1", "cls"]
+        rows = []
+        for arch, cells in data.items():
+            if arch == "matrix":
+                continue
+            for o, c in cells.items():
+                rows.append([arch, o, c["speedup_1d"], c["speedup_2d"],
+                             c["imbalance_before"], c["imbalance_after"],
+                             c["class"]])
+        blocks.append(format_table(headers, rows, floatfmt="{:.2f}"))
+    return "\n".join(blocks)
+
+
+def render_profile_figure(profiles: dict, methods,
+                          taus=(1.0, 1.1, 1.5, 2.0, 5.0)) -> str:
+    """Figure 5: performance profiles sampled at interesting τ values."""
+    blocks = ["Figure 5: performance profiles (fraction within factor τ "
+              "of best)"]
+    for feature, prof in profiles.items():
+        headers = [feature] + [f"τ={t}" for t in taus]
+        rows = []
+        for m in methods:
+            rows.append([m] + [profile_at(prof, m, t) for t in taus])
+        blocks.append(format_table(headers, rows, floatfmt="{:.2f}"))
+    return "\n".join(blocks)
+
+
+def render_fill_figure(fill: dict) -> str:
+    """Figure 6: fill-ratio boxplots per ordering."""
+    labels = [o for o in fill if o != "_raw"]
+    summaries = [fill[o] for o in labels]
+    hi = max(s[4] for s in summaries) * 1.05
+    return ("Figure 6: nnz(L)/nnz(A) per ordering\n"
+            + format_boxplot_rows(labels, summaries, 0.0, hi))
+
+
+def render_overhead_table(rows: list) -> str:
+    """Table 5: reordering time (s) + single SpMV iteration time (s)."""
+    headers = ["Matrix", "RCM", "AMD", "ND", "GP", "HP", "Gray",
+               "SpMV(model)"]
+    fmt_rows = []
+    for row in rows:
+        fmt_rows.append([row[0]] + [f"{v:.3g}" for v in row[1:]])
+    return ("Table 5: reordering time in seconds (our serial Python "
+            "implementations)\n" + format_table(headers, fmt_rows))
+
+
+def render_two_d_vs_one_d(ratios: np.ndarray, arch: str) -> str:
+    q1, med, q3 = np.percentile(ratios, [25, 50, 75])
+    return (f"2D vs 1D on {arch}: median {med:.2f}x, quartiles "
+            f"[{q1:.2f}, {q3:.2f}], max {ratios.max():.2f}x, "
+            f">1.1x for {np.mean(ratios > 1.1) * 100:.0f}% of matrices")

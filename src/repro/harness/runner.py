@@ -1,0 +1,157 @@
+"""Sweep runner with a persistent ordering cache.
+
+Computing an ordering is orders of magnitude more expensive than
+evaluating the performance model, and the same (matrix, ordering,
+part-count) triple recurs across the eight architectures and the two
+kernels.  :class:`OrderingCache` memoises permutations in memory and
+optionally on disk (``.npz`` per corpus), so a full 8-architecture
+sweep costes one ordering pass.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..generators.suite import CorpusEntry
+from ..machine.arch import Architecture
+from ..machine.bench import MeasurementRecord, simulate_measurement
+from ..machine.model import PerfModel
+from ..matrix.csr import CSRMatrix
+from ..reorder import compute_ordering
+from ..reorder.perm import OrderingResult
+
+
+class OrderingCache:
+    """Memoises (matrix-name, ordering, nparts) → OrderingResult.
+
+    ``path`` enables disk persistence: each cached permutation is stored
+    in one ``.npz`` with its timing metadata.  Matrices are keyed by
+    name — callers are responsible for name uniqueness within a corpus
+    (which :func:`repro.generators.build_corpus` guarantees).
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._memory: dict = {}
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    @staticmethod
+    def _key(a: CSRMatrix, matrix_name: str, ordering: str,
+             nparts: int) -> str:
+        # Only GP depends on nparts; normalise all other orderings so
+        # they share cache entries.  Shape and nnz are part of the key
+        # so regenerating a named matrix at a different scale can never
+        # hit a stale permutation.
+        if ordering != "GP":
+            nparts = 0
+        return (f"{matrix_name}__{a.nrows}x{a.ncols}_{a.nnz}"
+                f"__{ordering}__{nparts}")
+
+    def get(self, a: CSRMatrix, matrix_name: str, ordering: str,
+            nparts: int = 64, seed=0) -> OrderingResult:
+        """Return the cached ordering, computing it on a miss."""
+        key = self._key(a, matrix_name, ordering, nparts)
+        if key in self._memory:
+            return self._memory[key]
+        if self.path is not None:
+            f = os.path.join(self.path, key + ".npz")
+            if os.path.exists(f):
+                data = np.load(f)
+                result = OrderingResult(
+                    algorithm=str(data["algorithm"]),
+                    perm=data["perm"],
+                    symmetric=bool(data["symmetric"]),
+                    seconds=float(data["seconds"]))
+                self._memory[key] = result
+                return result
+        result = compute_ordering(a, ordering, nparts=nparts, seed=seed)
+        self._memory[key] = result
+        if self.path is not None:
+            np.savez(os.path.join(self.path, key + ".npz"),
+                     algorithm=result.algorithm, perm=result.perm,
+                     symmetric=result.symmetric, seconds=result.seconds)
+        return result
+
+
+@dataclass
+class SweepResult:
+    """All measurement records of a sweep, with lookup helpers."""
+
+    records: list = field(default_factory=list)
+
+    def add(self, rec: MeasurementRecord) -> None:
+        self.records.append(rec)
+
+    def lookup(self, matrix: str, ordering: str, kernel: str,
+               architecture: str) -> MeasurementRecord:
+        for r in self.records:
+            if (r.matrix == matrix and r.ordering == ordering
+                    and r.kernel == kernel
+                    and r.architecture == architecture):
+                return r
+        raise KeyError((matrix, ordering, kernel, architecture))
+
+    def speedups(self, ordering: str, kernel: str,
+                 architecture: str) -> np.ndarray:
+        """Speedup over 'original' for every matrix, in corpus order."""
+        base = {}
+        reordered = {}
+        for r in self.records:
+            if r.kernel != kernel or r.architecture != architecture:
+                continue
+            if r.ordering == "original":
+                base[r.matrix] = r.gflops_max
+            elif r.ordering == ordering:
+                reordered[r.matrix] = r.gflops_max
+        names = [m for m in base if m in reordered]
+        return np.array([reordered[m] / base[m] for m in names])
+
+    def matrices(self) -> list:
+        seen = []
+        for r in self.records:
+            if r.matrix not in seen:
+                seen.append(r.matrix)
+        return seen
+
+
+def run_sweep(corpus: list, architectures: list, orderings: list,
+              kernels: tuple = ("1d", "2d"), cache: OrderingCache | None = None,
+              model_factory=None, seed=0) -> SweepResult:
+    """Run the full measurement sweep.
+
+    Parameters
+    ----------
+    corpus:
+        List of :class:`CorpusEntry`.
+    architectures:
+        List of :class:`Architecture` to model.
+    orderings:
+        Ordering names including or excluding ``"original"`` (the
+        baseline is always measured).
+    model_factory:
+        Optional ``arch -> PerfModel`` hook (ablations override this).
+    """
+    cache = cache or OrderingCache()
+    if model_factory is None:
+        model_factory = PerfModel
+    result = SweepResult()
+    orderings = [o for o in orderings if o != "original"]
+    for arch in architectures:
+        model = model_factory(arch)
+        for entry in corpus:
+            a = entry.matrix
+            for kernel in kernels:
+                result.add(simulate_measurement(
+                    a, arch, kernel, entry.name, "original", model=model))
+            for name in orderings:
+                r = cache.get(a, entry.name, name, nparts=arch.gp_parts,
+                              seed=seed)
+                b = r.apply(a)
+                for kernel in kernels:
+                    result.add(simulate_measurement(
+                        b, arch, kernel, entry.name, name, model=model))
+    return result

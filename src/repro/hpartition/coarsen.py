@@ -1,0 +1,115 @@
+"""Hypergraph coarsening: heavy-connectivity matching + contraction.
+
+Heavy-connectivity matching pairs each vertex with the unmatched vertex
+it shares the most (small-)net weight with.  Very large nets are skipped
+during matching — their pins are weakly related and scanning them would
+dominate runtime — which is the same pragmatic cutoff PaToH applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.hypergraph import Hypergraph
+from ..util.rng import as_rng
+
+
+@dataclass(frozen=True)
+class HLevel:
+    """One level of the hypergraph hierarchy (cmap=None at coarsest)."""
+
+    hgraph: Hypergraph
+    cmap: np.ndarray | None
+
+
+def heavy_connectivity_matching(h: Hypergraph, rng=None,
+                                max_net_size: int = 64) -> np.ndarray:
+    """match[v] = partner (or v itself).  O(Σ_v Σ_{e∋v, small} |e|)."""
+    rng = as_rng(rng)
+    n = h.nvertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    net_sizes = h.net_sizes()
+    score = np.zeros(n, dtype=np.int64)  # scratch: shared weight with v
+    for v in order:
+        if match[v] != -1:
+            continue
+        touched = []
+        for e in h.nets_of(int(v)):
+            if net_sizes[e] > max_net_size:
+                continue
+            for u in h.pins(int(e)):
+                if u != v and match[u] == -1:
+                    if score[u] == 0:
+                        touched.append(int(u))
+                    score[u] += int(h.nwgt[e])
+        if touched:
+            best = max(touched, key=lambda u: score[u])
+            match[v] = best
+            match[best] = v
+            for u in touched:
+                score[u] = 0
+        else:
+            match[v] = v
+    return match
+
+
+def hcontract(h: Hypergraph, cmap: np.ndarray, ncoarse: int) -> Hypergraph:
+    """Contract the hypergraph: relabel pins, dedup within nets, drop
+    single-pin nets."""
+    coarse_pins = cmap[h.net_pins]
+    net_of_pin = np.repeat(np.arange(h.nnets, dtype=np.int64), h.net_sizes())
+    order = np.lexsort((coarse_pins, net_of_pin))
+    ne = net_of_pin[order]
+    cp = coarse_pins[order]
+    if cp.size:
+        first = np.empty(cp.size, dtype=bool)
+        first[0] = True
+        first[1:] = (ne[1:] != ne[:-1]) | (cp[1:] != cp[:-1])
+        ne, cp = ne[first], cp[first]
+    # net sizes after dedup; drop nets with < 2 pins
+    sizes = np.bincount(ne, minlength=h.nnets)
+    keep_net = sizes >= 2
+    new_id = np.cumsum(keep_net) - 1
+    pin_keep = keep_net[ne]
+    ne = new_id[ne[pin_keep]]
+    cp = cp[pin_keep]
+    nnets = int(keep_net.sum())
+    net_ptr = np.zeros(nnets + 1, dtype=np.int64)
+    np.add.at(net_ptr, ne + 1, 1)
+    np.cumsum(net_ptr, out=net_ptr)
+    # vertex view: transpose the (net, pin) incidence
+    vorder = np.lexsort((ne, cp))
+    vtx_nets = ne[vorder]
+    vtx_ptr = np.zeros(ncoarse + 1, dtype=np.int64)
+    np.add.at(vtx_ptr, cp + 1, 1)
+    np.cumsum(vtx_ptr, out=vtx_ptr)
+    vwgt = np.zeros(ncoarse, dtype=np.int64)
+    np.add.at(vwgt, cmap, h.vwgt)
+    return Hypergraph(nvertices=ncoarse, nnets=nnets, net_ptr=net_ptr,
+                      net_pins=cp, vtx_ptr=vtx_ptr, vtx_nets=vtx_nets,
+                      vwgt=vwgt, nwgt=h.nwgt[keep_net].copy())
+
+
+def hcoarsen_hierarchy(h: Hypergraph, min_vertices: int = 64,
+                       max_levels: int = 40, rng=None) -> list:
+    """Build [finest, ..., coarsest] hierarchy of :class:`HLevel`."""
+    levels = []
+    current = h
+    for _ in range(max_levels):
+        if current.nvertices <= min_vertices:
+            break
+        match = heavy_connectivity_matching(current, rng=rng)
+        # reuse the graph-side map builder (identical semantics)
+        from ..partition.matching import matching_to_coarse_map
+
+        cmap, ncoarse = matching_to_coarse_map(match)
+        if ncoarse > 0.95 * current.nvertices:
+            break
+        coarse = hcontract(current, cmap, ncoarse)
+        levels.append(HLevel(hgraph=current, cmap=cmap))
+        current = coarse
+    levels.append(HLevel(hgraph=current, cmap=None))
+    return levels

@@ -1,0 +1,74 @@
+"""Initial bisection of the coarsest hypergraph by greedy net growing.
+
+Side 0 is grown from a random seed vertex, absorbing at each step a
+vertex adjacent (via a small net) to the current region, preferring
+vertices most of whose nets are already inside.  Run from a few seeds;
+the lowest cut-net feasible result wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.hypergraph import Hypergraph
+from ..util.rng import as_rng
+from .metrics import cutnet
+
+
+def greedy_grow_hbisection(h: Hypergraph, target0: int,
+                           seed_vertex: int) -> np.ndarray:
+    """Grow side 0 from a seed in net-neighbour BFS order."""
+    n = h.nvertices
+    side = np.ones(n, dtype=np.int64)
+    in0 = np.zeros(n, dtype=bool)
+    frontier = [int(seed_vertex)]
+    in_frontier = np.zeros(n, dtype=bool)
+    in_frontier[seed_vertex] = True
+    acc = 0
+    head = 0
+    while acc < target0:
+        if head >= len(frontier):
+            # region exhausted (disconnected): jump to an unvisited vertex
+            rest = np.flatnonzero(~in0 & ~in_frontier)
+            if rest.size == 0:
+                break
+            frontier.append(int(rest[0]))
+            in_frontier[rest[0]] = True
+        v = frontier[head]
+        head += 1
+        if in0[v]:
+            continue
+        in0[v] = True
+        side[v] = 0
+        acc += int(h.vwgt[v])
+        for e in h.nets_of(v):
+            pins = h.pins(int(e))
+            if pins.size > 256:
+                continue
+            for u in pins:
+                u = int(u)
+                if not in0[u] and not in_frontier[u]:
+                    in_frontier[u] = True
+                    frontier.append(u)
+    return side
+
+
+def initial_hbisection(h: Hypergraph, target0: int, rng=None,
+                       ntrials: int = 4) -> np.ndarray:
+    """Best-of-``ntrials`` greedy bisections by (feasibility, cut-net)."""
+    rng = as_rng(rng)
+    n = h.nvertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    total = int(h.vwgt.sum())
+    candidates = []
+    for _ in range(ntrials):
+        seed = int(rng.integers(0, n))
+        candidates.append(greedy_grow_hbisection(h, target0, seed))
+
+    def score(side):
+        w0 = int(h.vwgt[side == 0].sum())
+        imbalance = abs(w0 - target0) / max(total, 1)
+        return (round(imbalance * 20), cutnet(h, side))
+
+    return min(candidates, key=score)

@@ -1,0 +1,39 @@
+"""Multilevel hypergraph bisection driver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.hypergraph import Hypergraph
+from ..util.rng import as_rng
+from .coarsen import hcoarsen_hierarchy
+from .fm import hrefine_or_keep
+from .initial import initial_hbisection
+
+
+def hbisect(h: Hypergraph, target0: int | None = None, tol: float = 0.05,
+            rng=None, refine: bool = True,
+            min_coarse: int = 64) -> np.ndarray:
+    """Bisect hypergraph vertices, minimising cut-net.
+
+    Mirrors :func:`repro.partition.multilevel.bisect`; see there for the
+    parameter semantics.
+    """
+    total = int(h.vwgt.sum())
+    if target0 is None:
+        target0 = total // 2
+    if not (0 <= target0 <= total):
+        raise PartitionError(f"target0={target0} outside [0, {total}]")
+    rng = as_rng(rng)
+    if h.nvertices <= 1:
+        return np.zeros(h.nvertices, dtype=np.int64)
+    levels = hcoarsen_hierarchy(h, min_vertices=min_coarse, rng=rng)
+    side = initial_hbisection(levels[-1].hgraph, target0, rng=rng)
+    if refine:
+        side = hrefine_or_keep(levels[-1].hgraph, side, target0, tol=tol)
+    for level in reversed(levels[:-1]):
+        side = side[level.cmap]
+        if refine:
+            side = hrefine_or_keep(level.hgraph, side, target0, tol=tol)
+    return side

@@ -1,0 +1,83 @@
+"""Recursive bisection to k-way hypergraph partitions.
+
+After a bisection, each sub-problem keeps the nets restricted to its own
+vertices (pins outside are dropped, single-pin nets vanish): a net
+already cut by an ancestor bisection is not double-counted, matching
+the recursive cut-net formulation PaToH uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.hypergraph import Hypergraph
+from ..util.rng import as_rng
+from .multilevel import hbisect
+
+
+def induced_subhypergraph(h: Hypergraph, vertices: np.ndarray) -> Hypergraph:
+    """Restrict ``h`` to ``vertices``; drops outside pins and tiny nets."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    local = np.full(h.nvertices, -1, dtype=np.int64)
+    local[vertices] = np.arange(vertices.size, dtype=np.int64)
+    net_of_pin = np.repeat(np.arange(h.nnets, dtype=np.int64), h.net_sizes())
+    lp = local[h.net_pins]
+    keep = lp >= 0
+    ne, lp = net_of_pin[keep], lp[keep]
+    sizes = np.bincount(ne, minlength=h.nnets)
+    keep_net = sizes >= 2
+    new_id = np.cumsum(keep_net) - 1
+    pin_keep = keep_net[ne]
+    ne = new_id[ne[pin_keep]]
+    lp = lp[pin_keep]
+    nnets = int(keep_net.sum())
+    order = np.lexsort((lp, ne))
+    ne, lp = ne[order], lp[order]
+    net_ptr = np.zeros(nnets + 1, dtype=np.int64)
+    np.add.at(net_ptr, ne + 1, 1)
+    np.cumsum(net_ptr, out=net_ptr)
+    vorder = np.lexsort((ne, lp))
+    vtx_nets = ne[vorder]
+    vtx_ptr = np.zeros(vertices.size + 1, dtype=np.int64)
+    np.add.at(vtx_ptr, lp + 1, 1)
+    np.cumsum(vtx_ptr, out=vtx_ptr)
+    return Hypergraph(nvertices=vertices.size, nnets=nnets, net_ptr=net_ptr,
+                      net_pins=lp, vtx_ptr=vtx_ptr, vtx_nets=vtx_nets,
+                      vwgt=h.vwgt[vertices].copy(),
+                      nwgt=h.nwgt[keep_net].copy())
+
+
+def partition_hypergraph(h: Hypergraph, nparts: int, tol: float = 0.05,
+                         rng=None, refine: bool = True) -> np.ndarray:
+    """k-way cut-net partition of ``h`` by recursive bisection."""
+    if nparts < 1:
+        raise PartitionError(f"nparts must be >= 1, got {nparts}")
+    rng = as_rng(rng)
+    part = np.zeros(h.nvertices, dtype=np.int64)
+    _recurse(h, np.arange(h.nvertices, dtype=np.int64), nparts, 0, part,
+             tol, rng, refine)
+    return part
+
+
+def _recurse(h: Hypergraph, global_ids: np.ndarray, nparts: int, base: int,
+             part: np.ndarray, tol: float, rng, refine: bool) -> None:
+    if nparts == 1 or h.nvertices == 0:
+        part[global_ids] = base
+        return
+    k0 = (nparts + 1) // 2
+    k1 = nparts - k0
+    total = int(h.vwgt.sum())
+    target0 = int(round(total * k0 / nparts))
+    side = hbisect(h, target0=target0, tol=tol, rng=rng, refine=refine)
+    left = np.flatnonzero(side == 0)
+    right = np.flatnonzero(side == 1)
+    if left.size == 0 or right.size == 0:
+        order = np.argsort(h.vwgt, kind="stable")[::-1]
+        half = h.nvertices // 2
+        left = order[:half]
+        right = order[half:]
+    _recurse(induced_subhypergraph(h, left), global_ids[left], k0, base,
+             part, tol, rng, refine)
+    _recurse(induced_subhypergraph(h, right), global_ids[right], k1,
+             base + k0, part, tol, rng, refine)

@@ -1,0 +1,120 @@
+"""The eight multicore architectures of the study (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArchitectureError
+
+KiB = 1024
+MiB = 1024 * 1024
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """One row of Table 2.
+
+    Cache sizes are in bytes; ``bandwidth`` is the total machine
+    memory bandwidth in bytes/second; ``freq_ghz`` is the sustained
+    (boost-range midpoint) clock used for instruction-overhead terms.
+    """
+
+    name: str
+    cpu: str
+    isa: str
+    microarch: str
+    sockets: int
+    cores: int            # total cores across sockets
+    freq_ghz: float
+    l1d_per_core: int
+    l2_per_core: int
+    l3_per_socket: int
+    bandwidth: float      # total bytes/s
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.sockets <= 0:
+            raise ArchitectureError(
+                f"{self.name}: cores and sockets must be positive")
+        if self.cores % self.sockets:
+            raise ArchitectureError(
+                f"{self.name}: cores ({self.cores}) not divisible by "
+                f"sockets ({self.sockets})")
+        if self.bandwidth <= 0 or self.freq_ghz <= 0:
+            raise ArchitectureError(
+                f"{self.name}: bandwidth and frequency must be positive")
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores // self.sockets
+
+    @property
+    def threads(self) -> int:
+        """Thread count used in the study: one per core."""
+        return self.cores
+
+    @property
+    def l3_total(self) -> int:
+        return self.l3_per_socket * self.sockets
+
+    def per_thread_bandwidth(self, active_threads: int) -> float:
+        """Memory bandwidth available to each of ``active_threads``
+        threads streaming simultaneously (even contention split)."""
+        return self.bandwidth / max(min(active_threads, self.cores), 1)
+
+    def per_thread_cache(self) -> int:
+        """Private L2 plus this core's share of the socket L3 — the
+        capacity the performance model assumes for x-vector reuse."""
+        return self.l2_per_core + self.l3_per_socket // self.cores_per_socket
+
+    @property
+    def gp_parts(self) -> int:
+        """Partition count for the GP ordering on this machine (§3.3:
+        parts are matched to the core count)."""
+        return self.cores
+
+
+def _arch(name, cpu, isa, micro, sockets, cores_per_socket, freq, l1d_kib,
+          l2_kib, l3_mib, bw_gbs) -> Architecture:
+    return Architecture(
+        name=name, cpu=cpu, isa=isa, microarch=micro, sockets=sockets,
+        cores=sockets * cores_per_socket, freq_ghz=freq,
+        l1d_per_core=l1d_kib * KiB, l2_per_core=l2_kib * KiB,
+        l3_per_socket=l3_mib * MiB, bandwidth=bw_gbs * GB)
+
+
+#: Table 2, one entry per machine, in the paper's column order.
+TABLE2 = {
+    a.name: a for a in [
+        _arch("Skylake", "Intel Xeon Gold 6130", "x86-64", "Skylake",
+              2, 16, 2.8, 32, 1024, 22, 256.0),
+        _arch("Ice Lake", "Intel Xeon Platinum 8360Y", "x86-64", "Ice Lake",
+              2, 36, 3.0, 48, 1280, 54, 409.6),
+        _arch("Naples", "AMD Epyc 7601", "x86-64", "Zen",
+              2, 32, 3.0, 32, 512, 64, 342.0),
+        _arch("Rome", "AMD Epyc 7302P", "x86-64", "Zen 2",
+              1, 16, 2.4, 32, 512, 16, 204.8),
+        _arch("Milan A", "AMD Epyc 7413", "x86-64", "Zen 3",
+              2, 24, 3.0, 32, 512, 128, 409.6),
+        _arch("Milan B", "AMD Epyc 7763", "x86-64", "Zen 3",
+              2, 64, 3.0, 32, 512, 256, 409.6),
+        _arch("TX2", "Cavium TX2 CN9980", "ARMv8.1", "Vulcan",
+              2, 32, 2.2, 32, 256, 32, 342.0),
+        _arch("Hi1620", "HiSilicon Kunpeng 920-6426", "ARMv8.2",
+              "TaiShan v110", 2, 64, 2.6, 64, 512, 64, 342.0),
+    ]
+}
+
+
+def get_architecture(name: str) -> Architecture:
+    """Look up a Table 2 architecture by name."""
+    if name not in TABLE2:
+        raise ArchitectureError(
+            f"unknown architecture {name!r}; known: {sorted(TABLE2)}")
+    return TABLE2[name]
+
+
+def architecture_names() -> list:
+    """The eight architecture names in Table 2 order."""
+    return list(TABLE2)

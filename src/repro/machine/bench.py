@@ -1,0 +1,85 @@
+"""Measurement-shaped runner mirroring the paper's artifact records.
+
+The artifact distributes one row per matrix with, per ordering, seven
+columns: min/max/mean nonzeros per thread, imbalance factor, seconds
+per iteration, max Gflop/s and mean Gflop/s.  This module produces the
+same record from the performance model, so the downstream analysis code
+(geometric means, boxplots, performance profiles) consumes data of the
+identical shape.
+
+The paper repeats each measurement 100× and reports the max performance
+(warm cache, minimal noise); the model is deterministic and directly
+predicts that warm-cache steady state, so max and mean performance
+differ only by a small modelled iteration-to-iteration overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..matrix.csr import CSRMatrix
+from ..spmv.schedule import schedule_1d, schedule_2d
+from .arch import Architecture
+from .model import PerfModel
+
+#: modelled relative gap between best-of-100 and mean-of-97 performance
+MEAN_PERF_FACTOR = 0.97
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One (matrix, ordering, kernel, architecture) measurement."""
+
+    matrix: str
+    ordering: str
+    kernel: str            # "1d" | "2d"
+    architecture: str
+    nthreads: int
+    nnz_min: int
+    nnz_max: int
+    nnz_mean: float
+    imbalance: float
+    seconds: float
+    gflops_max: float
+    gflops_mean: float
+
+    def row(self) -> list:
+        """The 7-column artifact layout (plus identifying prefix)."""
+        return [self.matrix, self.ordering, self.kernel, self.architecture,
+                self.nthreads, self.nnz_min, self.nnz_max, self.nnz_mean,
+                self.imbalance, self.seconds, self.gflops_max,
+                self.gflops_mean]
+
+
+def simulate_measurement(a: CSRMatrix, arch: Architecture, kernel: str,
+                         matrix_name: str = "", ordering_name: str = "",
+                         model: PerfModel | None = None) -> MeasurementRecord:
+    """Run the model on ``a`` and package the artifact-shaped record."""
+    if kernel == "1d":
+        schedule = schedule_1d(a, arch.threads)
+    elif kernel == "2d":
+        schedule = schedule_2d(a, arch.threads)
+    else:
+        raise ScheduleError(f"unknown kernel {kernel!r}")
+    model = model if model is not None else PerfModel(arch)
+    pred = model.predict(a, schedule)
+    per_thread = schedule.nnz_per_thread()
+    mean = float(per_thread.mean()) if per_thread.size else 0.0
+    imb = float(per_thread.max() / mean) if mean else 1.0
+    return MeasurementRecord(
+        matrix=matrix_name,
+        ordering=ordering_name,
+        kernel=kernel,
+        architecture=arch.name,
+        nthreads=arch.threads,
+        nnz_min=int(per_thread.min()) if per_thread.size else 0,
+        nnz_max=int(per_thread.max()) if per_thread.size else 0,
+        nnz_mean=mean,
+        imbalance=imb,
+        seconds=pred.seconds,
+        gflops_max=pred.gflops,
+        gflops_mean=pred.gflops * MEAN_PERF_FACTOR,
+    )

@@ -1,0 +1,36 @@
+"""Sparse-matrix substrate.
+
+The paper's experiments all operate on matrices stored in compressed
+sparse row (CSR) format.  This subpackage provides our own COO and CSR
+containers built directly on numpy arrays (rather than reusing
+``scipy.sparse``), because the reordering algorithms, SpMV schedules and
+the performance model need direct access to the raw ``rowptr`` /
+``colidx`` / ``values`` arrays with guaranteed invariants (sorted,
+deduplicated column indices per row).  scipy is used only in tests as an
+independent reference.
+"""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .build import coo_from_arrays, csr_from_coo, csr_from_dense, csr_identity
+from .symmetry import is_pattern_symmetric, symmetrize_pattern
+from .permute import permute_symmetric, permute_rows, permute_csr
+from .io_mm import read_matrix_market, write_matrix_market
+from .dense import tall_skinny_dense_csr
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "coo_from_arrays",
+    "csr_from_coo",
+    "csr_from_dense",
+    "csr_identity",
+    "is_pattern_symmetric",
+    "symmetrize_pattern",
+    "permute_symmetric",
+    "permute_rows",
+    "permute_csr",
+    "read_matrix_market",
+    "write_matrix_market",
+    "tall_skinny_dense_csr",
+]

@@ -1,0 +1,179 @@
+"""Compressed sparse row (CSR) matrix container.
+
+This is the canonical computation format of the study (paper §3.1): all
+SpMV kernels, matrix features and the performance model consume CSR.
+The container enforces the invariants the rest of the library relies on:
+
+* ``rowptr`` is monotone with ``rowptr[0] == 0`` and
+  ``rowptr[nrows] == nnz``;
+* within each row, column indices are strictly increasing (sorted and
+  deduplicated).
+
+Construction therefore goes through :func:`repro.matrix.build.csr_from_coo`,
+which sorts and sums duplicates; the constructor itself only verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MatrixFormatError
+from ..util.validate import check_index_array, require
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Sparse matrix in CSR form with sorted, unique columns per row.
+
+    Attributes
+    ----------
+    nrows, ncols:
+        Matrix dimensions.
+    rowptr:
+        ``int64`` array of length ``nrows + 1``; row ``i`` occupies the
+        half-open slice ``[rowptr[i], rowptr[i+1])`` of ``colidx`` and
+        ``values``.
+    colidx:
+        ``int64`` array of length nnz with column indices.
+    values:
+        ``float64`` array of length nnz with entry values.
+    """
+
+    nrows: int
+    ncols: int
+    rowptr: np.ndarray
+    colidx: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        require(self.nrows >= 0 and self.ncols >= 0, MatrixFormatError,
+                f"negative dimensions {self.nrows} x {self.ncols}")
+        rowptr = np.asarray(self.rowptr)
+        require(np.issubdtype(rowptr.dtype, np.integer), MatrixFormatError,
+                f"rowptr must be integer, got {rowptr.dtype}")
+        rowptr = rowptr.astype(np.int64, copy=False)
+        require(rowptr.shape == (self.nrows + 1,), MatrixFormatError,
+                f"rowptr must have length nrows+1={self.nrows + 1}, "
+                f"got {rowptr.shape}")
+        require(rowptr[0] == 0, MatrixFormatError, "rowptr[0] must be 0")
+        require(bool(np.all(np.diff(rowptr) >= 0)), MatrixFormatError,
+                "rowptr must be non-decreasing")
+        nnz = int(rowptr[-1])
+        colidx = check_index_array("colidx", self.colidx, max(self.ncols, 1))
+        require(colidx.shape == (nnz,), MatrixFormatError,
+                f"colidx length {colidx.shape} does not match rowptr[-1]={nnz}")
+        values = np.asarray(self.values, dtype=np.float64)
+        require(values.shape == (nnz,), MatrixFormatError,
+                f"values length {values.shape} does not match nnz={nnz}")
+        # Verify sorted & unique columns within each row without a Python
+        # loop: adjacent colidx must strictly increase except across row
+        # boundaries.
+        if nnz > 1:
+            increasing = colidx[1:] > colidx[:-1]
+            # positions where entry k and k+1 belong to the same row
+            boundary = np.zeros(nnz, dtype=bool)
+            # first entry of rows 1..nrows-1; starts equal to nnz belong to
+            # an empty trailing region and mark no real entry
+            starts = rowptr[1:-1]
+            boundary[starts[starts < nnz]] = True
+            same_row = ~boundary[1:]
+            require(bool(np.all(increasing | ~same_row)), MatrixFormatError,
+                    "column indices must be strictly increasing within rows")
+        object.__setattr__(self, "rowptr", rowptr)
+        object.__setattr__(self, "colidx", colidx)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.rowptr[-1])
+
+    @property
+    def shape(self) -> tuple:
+        return (self.nrows, self.ncols)
+
+    @property
+    def is_square(self) -> bool:
+        return self.nrows == self.ncols
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of nonzeros in every row (length ``nrows``)."""
+        return np.diff(self.rowptr)
+
+    def row_of_entry(self) -> np.ndarray:
+        """Row index of every stored entry, in CSR order (length nnz)."""
+        return np.repeat(np.arange(self.nrows, dtype=np.int64),
+                         self.row_lengths())
+
+    def row_slice(self, i: int) -> tuple:
+        """Return ``(cols, vals)`` views for row ``i``."""
+        lo, hi = int(self.rowptr[i]), int(self.rowptr[i + 1])
+        return self.colidx[lo:hi], self.values[lo:hi]
+
+    # ------------------------------------------------------------------
+    # conversions and arithmetic used throughout the library
+    # ------------------------------------------------------------------
+    def to_coo(self):
+        """Convert to :class:`~repro.matrix.coo.COOMatrix`."""
+        from .coo import COOMatrix
+
+        return COOMatrix(self.nrows, self.ncols, self.row_of_entry(),
+                         self.colidx.copy(), self.values.copy())
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as dense (testing/small matrices only)."""
+        dense = np.zeros((self.nrows, self.ncols))
+        dense[self.row_of_entry(), self.colidx] = self.values
+        return dense
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (used as test oracle)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.values.copy(), self.colidx.copy(), self.rowptr.copy()),
+            shape=self.shape,
+        )
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix (O(nnz) counting sort)."""
+        from .build import csr_from_coo
+
+        coo = self.to_coo()
+        return csr_from_coo(coo.transpose())
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference sequential SpMV ``y = A @ x`` (vectorised numpy).
+
+        The *measured* kernels live in :mod:`repro.spmv`; this method is
+        the semantic definition they are tested against (alongside scipy).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise MatrixFormatError(
+                f"x has shape {x.shape}, expected ({self.ncols},)")
+        products = self.values * x[self.colidx]
+        y = np.zeros(self.nrows)
+        np.add.at(y, self.row_of_entry(), products)
+        return y
+
+    def diagonal(self) -> np.ndarray:
+        """Return the main diagonal as a dense vector (zeros where absent)."""
+        n = min(self.nrows, self.ncols)
+        diag = np.zeros(n)
+        rows = self.row_of_entry()
+        mask = (rows == self.colidx) & (rows < n)
+        diag[rows[mask]] = self.values[mask]
+        return diag
+
+    def pattern_only(self) -> "CSRMatrix":
+        """Return a copy whose values are all 1.0 (structure analyses)."""
+        return CSRMatrix(self.nrows, self.ncols, self.rowptr.copy(),
+                         self.colidx.copy(), np.ones(self.nnz))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"

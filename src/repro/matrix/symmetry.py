@@ -1,0 +1,52 @@
+"""Pattern symmetry detection and symmetrisation.
+
+The RCM, AMD, ND and GP orderings assume a structurally symmetric
+matrix; following the paper (§3.3) an unsymmetric pattern is replaced by
+the symmetrisation ``A + Aᵀ`` *of the pattern* before computing those
+orderings.  The numeric values are irrelevant for ordering, so the
+symmetrised matrix carries pattern values (1.0 where either A or Aᵀ has
+an entry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .build import coo_from_arrays, csr_from_coo
+from .csr import CSRMatrix
+
+
+def is_pattern_symmetric(a: CSRMatrix) -> bool:
+    """True iff the sparsity pattern of ``a`` equals that of ``aᵀ``.
+
+    Implemented by canonically sorting the (row, col) and (col, row) key
+    sets and comparing — O(nnz log nnz), no transpose materialisation.
+    """
+    if not a.is_square:
+        return False
+    rows = a.row_of_entry()
+    fwd = np.lexsort((a.colidx, rows))
+    bwd = np.lexsort((rows, a.colidx))
+    return bool(
+        np.array_equal(rows[fwd], a.colidx[bwd])
+        and np.array_equal(a.colidx[fwd], rows[bwd])
+    )
+
+
+def symmetrize_pattern(a: CSRMatrix) -> CSRMatrix:
+    """Return the pattern of ``A + Aᵀ`` as a CSR matrix with unit values.
+
+    Works for any square matrix; if ``a`` is already pattern-symmetric
+    the result has the same pattern (values reset to 1).  Diagonal
+    entries are preserved as-is (they are self-loops in graph terms and
+    are ignored by the graph constructions that consume this).
+    """
+    if not a.is_square:
+        raise ValueError("symmetrisation requires a square matrix")
+    rows = a.row_of_entry()
+    both_rows = np.concatenate([rows, a.colidx])
+    both_cols = np.concatenate([a.colidx, rows])
+    coo = coo_from_arrays(a.nrows, a.ncols, both_rows, both_cols)
+    sym = csr_from_coo(coo)
+    # duplicate summation may have produced values of 2.0; reset to pattern
+    return sym.pattern_only()

@@ -1,0 +1,32 @@
+"""Multilevel graph partitioner — our from-scratch METIS substitute.
+
+Implements the multilevel paradigm of Karypis & Kumar [SISC 1998] that
+the paper's GP and ND orderings rely on:
+
+1. **Coarsening** (:mod:`.matching`, :mod:`.coarsen`): heavy-edge
+   matching contracts the graph until it is small.
+2. **Initial partitioning** (:mod:`.initial`): greedy graph growing and
+   dense spectral bisection on the coarsest graph; best cut wins.
+3. **Uncoarsening + refinement** (:mod:`.fm`): the partition is
+   projected back level by level and improved with boundary
+   Fiduccia–Mattheyses passes.
+
+k-way partitions are produced by recursive bisection
+(:mod:`.recursive`), with target weights split proportionally so any k
+is supported.  Vertex separators for nested dissection are derived from
+edge cuts in :mod:`.separator`.
+"""
+
+from .metrics import edge_cut, partition_balance, partition_weights
+from .multilevel import bisect
+from .recursive import partition_graph
+from .separator import vertex_separator
+
+__all__ = [
+    "edge_cut",
+    "partition_balance",
+    "partition_weights",
+    "bisect",
+    "partition_graph",
+    "vertex_separator",
+]

@@ -1,0 +1,136 @@
+"""Fiduccia–Mattheyses boundary refinement for bisections.
+
+One FM pass tentatively moves every movable boundary vertex once, in
+order of decreasing gain (cut-weight reduction), then rolls back to the
+best prefix that kept the balance feasible.  Passes repeat until a pass
+yields no improvement.  A lazy max-heap stands in for the classical
+gain-bucket structure — same semantics, simpler code, and fast enough
+in Python because only boundary vertices ever enter the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph.adjacency import Graph
+from .metrics import edge_cut
+
+
+def _gains(g: Graph, side: np.ndarray) -> np.ndarray:
+    """gain[v] = (cut weight removed) - (cut weight added) if v moved."""
+    src = np.repeat(np.arange(g.nvertices, dtype=np.int64), g.degrees())
+    external = np.zeros(g.nvertices, dtype=np.int64)
+    internal = np.zeros(g.nvertices, dtype=np.int64)
+    cut = side[src] != side[g.adjncy]
+    np.add.at(external, src[cut], g.ewgt[cut])
+    np.add.at(internal, src[~cut], g.ewgt[~cut])
+    return external - internal
+
+
+def fm_refine_bisection(g: Graph, side: np.ndarray, target0: int,
+                        tol: float = 0.05, max_passes: int = 4,
+                        max_moves_per_pass: int | None = None) -> np.ndarray:
+    """Refine a bisection in place-semantics (returns a new array).
+
+    Parameters
+    ----------
+    target0:
+        Desired total vertex weight of side 0; side 1 gets the rest.
+    tol:
+        Allowed relative deviation of side 0's weight from ``target0``
+        (widened by the heaviest vertex so a feasible state always
+        exists even with chunky weights).
+    """
+    side = np.asarray(side, dtype=np.int64).copy()
+    n = g.nvertices
+    if n == 0:
+        return side
+    total = g.total_vertex_weight()
+    heaviest = int(g.vwgt.max(initial=1))
+    slack = max(int(tol * total), heaviest)
+    lo0, hi0 = target0 - slack, target0 + slack
+    if max_moves_per_pass is None:
+        max_moves_per_pass = n
+
+    xadj, adjncy, ewgt, vwgt = g.xadj, g.adjncy, g.ewgt, g.vwgt
+
+    for _ in range(max_passes):
+        gain = _gains(g, side)
+        w0 = int(vwgt[side == 0].sum())
+        locked = np.zeros(n, dtype=bool)
+        stamp = np.zeros(n, dtype=np.int64)
+        heap = []
+        # seed with boundary vertices only
+        src = np.repeat(np.arange(n, dtype=np.int64), g.degrees())
+        boundary = np.unique(src[side[src] != side[adjncy]])
+        for v in boundary:
+            heapq.heappush(heap, (-int(gain[v]), int(stamp[v]), int(v)))
+        moves = []  # vertices in move order
+        cum = 0
+        best_cum = 0
+        best_len = 0
+        nmoves = 0
+        # give up a pass after this many moves without a new best prefix
+        stall_limit = 100 + n // 8
+        while heap and nmoves < max_moves_per_pass:
+            if len(moves) - best_len > stall_limit:
+                break
+            negg, st, v = heapq.heappop(heap)
+            if locked[v] or st != stamp[v]:
+                continue
+            vw = int(vwgt[v])
+            if side[v] == 0:
+                new_w0 = w0 - vw
+            else:
+                new_w0 = w0 + vw
+            # feasibility: don't leave the balance window unless we are
+            # already outside it and the move shrinks the violation
+            dev_now = max(w0 - hi0, lo0 - w0, 0)
+            dev_new = max(new_w0 - hi0, lo0 - new_w0, 0)
+            if dev_new > 0 and dev_new >= dev_now:
+                locked[v] = True  # can't move this pass
+                continue
+            # execute move
+            old = int(side[v])
+            side[v] = 1 - old
+            w0 = new_w0
+            locked[v] = True
+            cum += int(gain[v])
+            nmoves += 1
+            # update neighbour gains
+            for idx in range(int(xadj[v]), int(xadj[v + 1])):
+                u = int(adjncy[idx])
+                if locked[u]:
+                    continue
+                w = int(ewgt[idx])
+                if side[u] == old:
+                    gain[u] += 2 * w
+                else:
+                    gain[u] -= 2 * w
+                stamp[u] += 1
+                heapq.heappush(heap, (-int(gain[u]), int(stamp[u]), u))
+            moves.append(v)
+            feasible = lo0 <= w0 <= hi0
+            if cum > best_cum and feasible:
+                best_cum = cum
+                best_len = len(moves)
+        # roll back past the best prefix
+        for v in moves[best_len:]:
+            side[v] = 1 - side[v]
+        if best_cum <= 0:
+            break
+    return side
+
+
+def refine_or_keep(g: Graph, side: np.ndarray, target0: int,
+                   tol: float = 0.05, max_passes: int = 4) -> np.ndarray:
+    """FM-refine and keep whichever of (input, refined) has smaller cut
+    among feasible candidates.  Defensive wrapper used by the multilevel
+    driver so refinement can never make the final answer worse."""
+    refined = fm_refine_bisection(g, side, target0, tol=tol,
+                                  max_passes=max_passes)
+    if edge_cut(g, refined) <= edge_cut(g, side):
+        return refined
+    return np.asarray(side, dtype=np.int64)

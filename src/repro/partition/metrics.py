@@ -1,0 +1,55 @@
+"""Partition quality metrics: edge cut and balance.
+
+The edge-cut objective is the one the study uses for GP (§3.3), and —
+via the off-diagonal nonzero count — the matrix feature that best
+predicts SpMV performance (§4.5, key finding 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.adjacency import Graph
+
+
+def _check_assignment(g: Graph, part: np.ndarray) -> np.ndarray:
+    part = np.asarray(part, dtype=np.int64)
+    if part.shape != (g.nvertices,):
+        raise PartitionError(
+            f"assignment length {part.size} != nvertices {g.nvertices}")
+    if part.size and part.min() < 0:
+        raise PartitionError("negative part ids in assignment")
+    return part
+
+
+def edge_cut(g: Graph, part: np.ndarray) -> int:
+    """Total weight of edges whose endpoints lie in different parts."""
+    part = _check_assignment(g, part)
+    src = np.repeat(np.arange(g.nvertices, dtype=np.int64), g.degrees())
+    cut_mask = part[src] != part[g.adjncy]
+    return int(g.ewgt[cut_mask].sum()) // 2  # each cut edge counted twice
+
+
+def partition_weights(g: Graph, part: np.ndarray, nparts: int) -> np.ndarray:
+    """Total vertex weight per part (length ``nparts``)."""
+    part = _check_assignment(g, part)
+    if part.size and part.max() >= nparts:
+        raise PartitionError(
+            f"part id {int(part.max())} out of range for nparts={nparts}")
+    w = np.zeros(nparts, dtype=np.int64)
+    np.add.at(w, part, g.vwgt)
+    return w
+
+
+def partition_balance(g: Graph, part: np.ndarray, nparts: int) -> float:
+    """Max part weight over average part weight (1.0 = perfectly balanced).
+
+    Same definition as the paper's load-imbalance factor, applied to the
+    partition instead of the SpMV thread schedule.
+    """
+    w = partition_weights(g, part, nparts)
+    avg = w.sum() / max(nparts, 1)
+    if avg == 0:
+        return 1.0
+    return float(w.max() / avg)

@@ -1,0 +1,46 @@
+"""The multilevel bisection driver: coarsen → initial → refine upward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.adjacency import Graph
+from ..util.rng import as_rng
+from .coarsen import coarsen_hierarchy
+from .fm import refine_or_keep
+from .initial import initial_bisection
+
+
+def bisect(g: Graph, target0: int | None = None, tol: float = 0.05,
+           rng=None, refine: bool = True, min_coarse: int = 64) -> np.ndarray:
+    """Bisect ``g`` into sides 0/1 with side 0 holding ~``target0`` weight.
+
+    Parameters
+    ----------
+    target0:
+        Vertex weight assigned to side 0 (default: half the total).
+    refine:
+        Disable to skip FM refinement (ablation knob — DESIGN.md §5.5).
+
+    Returns an ``int64`` side array of 0s and 1s.
+    """
+    total = g.total_vertex_weight()
+    if target0 is None:
+        target0 = total // 2
+    if not (0 <= target0 <= total):
+        raise PartitionError(
+            f"target0={target0} outside [0, {total}]")
+    rng = as_rng(rng)
+    if g.nvertices <= 1:
+        return np.zeros(g.nvertices, dtype=np.int64)
+    levels = coarsen_hierarchy(g, min_vertices=min_coarse, rng=rng)
+    side = initial_bisection(levels[-1].graph, target0, rng=rng)
+    if refine:
+        side = refine_or_keep(levels[-1].graph, side, target0, tol=tol)
+    # project back through the hierarchy
+    for level in reversed(levels[:-1]):
+        side = side[level.cmap]
+        if refine:
+            side = refine_or_keep(level.graph, side, target0, tol=tol)
+    return side

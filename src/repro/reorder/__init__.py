@@ -1,0 +1,57 @@
+"""The six matrix reordering algorithms of the study (paper Table 1).
+
+==========  =============================  ==========================
+short name  algorithm                      module
+==========  =============================  ==========================
+RCM         Reverse Cuthill–McKee          :mod:`.rcm`
+AMD         Approximate minimum degree     :mod:`.amd`
+ND          Nested dissection              :mod:`.nd`
+GP          Graph partitioning (edge-cut)  :mod:`.gp`
+HP          Hypergraph part. (cut-net)     :mod:`.hp`
+Gray        Gray code ordering             :mod:`.gray`
+==========  =============================  ==========================
+
+All orderings except Gray are *symmetric* (the same permutation applies
+to rows and columns, computed on the symmetrised pattern A+Aᵀ when
+needed); Gray permutes rows only (paper §3.3).  Use
+:func:`compute_ordering` / :data:`ALL_ORDERINGS` for uniform access.
+"""
+
+from .perm import OrderingResult, identity_ordering
+from .rcm import cm_ordering, rcm_ordering
+from .gps import gps_ordering
+from .sbd import SBDResult, sbd_ordering
+from .sfc import sfc_ordering
+from .tsp import tsp_ordering
+from .amd import amd_ordering
+from .nd import nd_ordering
+from .gp import gp_ordering
+from .hp import hp_ordering
+from .gray import gray_ordering
+from .registry import (
+    ALL_ORDERINGS,
+    EXTRA_ORDERINGS,
+    ORDERING_FUNCS,
+    compute_ordering,
+)
+
+__all__ = [
+    "OrderingResult",
+    "identity_ordering",
+    "rcm_ordering",
+    "cm_ordering",
+    "gps_ordering",
+    "sbd_ordering",
+    "SBDResult",
+    "sfc_ordering",
+    "tsp_ordering",
+    "amd_ordering",
+    "nd_ordering",
+    "gp_ordering",
+    "hp_ordering",
+    "gray_ordering",
+    "ALL_ORDERINGS",
+    "EXTRA_ORDERINGS",
+    "ORDERING_FUNCS",
+    "compute_ordering",
+]

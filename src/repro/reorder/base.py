@@ -1,0 +1,37 @@
+"""Shared plumbing for the reordering implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReorderingError
+from ..graph.adjacency import Graph, graph_from_matrix
+from ..matrix.csr import CSRMatrix
+from ..util.validate import require
+
+
+def ordering_graph(a: CSRMatrix) -> Graph:
+    """The undirected graph of A (or A+Aᵀ for unsymmetric patterns).
+
+    This is the preprocessing step the paper prescribes for RCM, AMD,
+    ND and GP (§3.3).
+    """
+    require(a.is_square, ReorderingError,
+            f"symmetric orderings need a square matrix, got {a.shape}")
+    return graph_from_matrix(a, symmetrize=True)
+
+
+def complete_partial_order(order: np.ndarray, n: int) -> np.ndarray:
+    """Append any vertices missing from ``order`` (in index order).
+
+    Defensive helper: component-by-component algorithms should cover all
+    vertices, but isolated vertices or empty rows must never produce an
+    invalid permutation.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    present = np.zeros(n, dtype=bool)
+    present[order] = True
+    missing = np.flatnonzero(~present)
+    if missing.size == 0:
+        return order
+    return np.concatenate([order, missing])

@@ -1,0 +1,68 @@
+"""The result type shared by every reordering algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PermutationError
+from ..matrix.csr import CSRMatrix
+from ..matrix.permute import permute_rows, permute_symmetric
+
+
+@dataclass(frozen=True)
+class OrderingResult:
+    """A computed reordering.
+
+    Attributes
+    ----------
+    algorithm:
+        Short name ("RCM", "GP", ...).
+    perm:
+        New-to-old permutation: row ``perm[k]`` of the original matrix
+        becomes row ``k``.
+    symmetric:
+        True if the permutation applies to rows *and* columns (PAPᵀ);
+        False for row-only orderings (PA) like Gray.
+    seconds:
+        Wall-clock time spent computing the ordering (Table 5).
+    """
+
+    algorithm: str
+    perm: np.ndarray
+    symmetric: bool
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        perm = np.asarray(self.perm, dtype=np.int64)
+        n = perm.size
+        seen = np.zeros(n, dtype=bool)
+        if n and (perm.min() < 0 or perm.max() >= n):
+            raise PermutationError(
+                f"{self.algorithm}: permutation entries out of range")
+        seen[perm] = True
+        if not bool(seen.all()):
+            raise PermutationError(
+                f"{self.algorithm}: permutation is not a bijection")
+        object.__setattr__(self, "perm", perm)
+
+    @property
+    def n(self) -> int:
+        return int(self.perm.size)
+
+    def apply(self, a: CSRMatrix) -> CSRMatrix:
+        """Apply this ordering to ``a`` (PAPᵀ or PA as appropriate)."""
+        if self.symmetric:
+            return permute_symmetric(a, self.perm)
+        return permute_rows(a, self.perm)
+
+    def with_time(self, seconds: float) -> "OrderingResult":
+        """Copy with the timing field filled in."""
+        return OrderingResult(self.algorithm, self.perm, self.symmetric,
+                              seconds)
+
+
+def identity_ordering(n: int) -> OrderingResult:
+    """The original (unreordered) baseline."""
+    return OrderingResult("original", np.arange(n, dtype=np.int64), True, 0.0)

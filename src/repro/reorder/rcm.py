@@ -1,0 +1,65 @@
+"""Reverse Cuthill–McKee ordering (paper §2.1.1).
+
+Per connected component: find a pseudo-peripheral start vertex
+(George–Liu), traverse in breadth-first order with vertices of each
+level taken in ascending degree, then reverse the concatenated order.
+Components are processed in order of their smallest vertex id, matching
+common library behaviour (SuiteSparse, scipy).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph.bfs import bfs_levels
+from ..graph.peripheral import pseudo_peripheral_vertex
+from ..matrix.csr import CSRMatrix
+from .base import complete_partial_order, ordering_graph
+from .perm import OrderingResult
+
+
+def cuthill_mckee_component(g, start: int) -> np.ndarray:
+    """CM order of ``start``'s component (not reversed)."""
+    level = bfs_levels(g, start)
+    reached = np.flatnonzero(level >= 0)
+    deg = g.degrees()
+    # visit by (level, degree, id): classical CM sorts each level by
+    # ascending degree; id tie-break keeps it deterministic
+    return reached[np.lexsort((reached, deg[reached], level[reached]))]
+
+
+def rcm_ordering(a: CSRMatrix, reverse: bool = True) -> OrderingResult:
+    """Compute the RCM ordering of a sparse matrix.
+
+    Returns a symmetric :class:`OrderingResult`; the permutation is the
+    reversal of the Cuthill–McKee order over all components.  Pass
+    ``reverse=False`` for the plain (unreversed) Cuthill–McKee order —
+    equivalent for bandwidth, but RCM typically produces less fill in
+    factorisations (paper §2.1.1).
+    """
+    t0 = time.perf_counter()
+    g = ordering_graph(a)
+    n = g.nvertices
+    visited = np.zeros(n, dtype=bool)
+    pieces = []
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        start = pseudo_peripheral_vertex(g, seed)
+        comp_order = cuthill_mckee_component(g, start)
+        visited[comp_order] = True
+        pieces.append(comp_order)
+    order = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    order = complete_partial_order(order, n)
+    if reverse:
+        order = order[::-1].copy()  # the "reverse" in RCM
+    return OrderingResult("RCM" if reverse else "CM", order,
+                          symmetric=True,
+                          seconds=time.perf_counter() - t0)
+
+
+def cm_ordering(a: CSRMatrix) -> OrderingResult:
+    """The plain (unreversed) Cuthill–McKee ordering."""
+    return rcm_ordering(a, reverse=False)

@@ -1,0 +1,32 @@
+"""CSR SpMV kernels and thread schedules (paper §3.1).
+
+Two shared-memory parallel kernels over CSR:
+
+* **1D algorithm** — rows split into equal-sized contiguous blocks, one
+  per thread (OpenMP static row split).  Simple, but imbalanced when
+  nonzeros are unevenly distributed over rows.
+* **2D algorithm** — matrix *nonzeros* split evenly; threads may own
+  partial rows at their boundaries, handled with per-thread partial
+  sums exactly like the paper's race-free implementation.
+* **merge-based** (:func:`schedule_merge`) — the full Merrill–Garland
+  split the paper's 2D kernel simplifies: the combined path of row
+  boundaries and nonzeros is split evenly, so row-loop overhead is
+  balanced too.
+
+This being a pure-Python reproduction, the kernels execute the thread
+segments sequentially but with bit-identical work division; the timing
+comes from :mod:`repro.machine`, not the wall clock.
+"""
+
+from .schedule import Schedule, schedule_1d, schedule_2d, schedule_merge
+from .kernels import spmv, spmv_1d, spmv_2d
+
+__all__ = [
+    "Schedule",
+    "schedule_1d",
+    "schedule_2d",
+    "schedule_merge",
+    "spmv",
+    "spmv_1d",
+    "spmv_2d",
+]

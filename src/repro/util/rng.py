@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or an existing :class:`numpy.random.Generator`.
+Normalising through :func:`as_rng` keeps every generator reproducible
+from a single integer while still allowing callers to thread one
+generator through a pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` creates a fresh nondeterministic generator; an ``int`` seeds
+    a PCG64 generator; an existing generator is passed through unchanged
+    (not copied), so repeated draws advance the caller's stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used by the corpus builder so that every generated matrix has its own
+    stream: inserting or removing one matrix from the corpus does not
+    perturb the structure of the others.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

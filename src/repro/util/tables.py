@@ -1,0 +1,83 @@
+"""Plain-text table rendering for benchmark reports.
+
+The paper's artifact ships results as plain-text tables consumed by
+gnuplot; we do the same.  No plotting dependency is used — boxplots are
+rendered as five-number-summary rows plus a coarse ASCII glyph, which is
+enough to read off medians and quartiles (the quantities the paper's
+figures are interpreted through).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _ascii_box(lo: float, q1: float, med: float, q3: float, hi: float,
+               lower: float, upper: float, width: int = 40) -> str:
+    """Draw one boxplot row on a fixed ``[lower, upper]`` axis."""
+    span = upper - lower
+    if span <= 0:
+        return " " * width
+    def pos(v: float) -> int:
+        frac = (min(max(v, lower), upper) - lower) / span
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+    cells = [" "] * width
+    for i in range(pos(lo), pos(hi) + 1):
+        cells[i] = "-"
+    for i in range(pos(q1), pos(q3) + 1):
+        cells[i] = "="
+    cells[pos(med)] = "|"
+    return "".join(cells)
+
+
+def format_boxplot_rows(
+    labels: Sequence[str],
+    summaries: Sequence[Sequence[float]],
+    lower: float,
+    upper: float,
+    width: int = 40,
+) -> str:
+    """Render labelled five-number summaries (whisker-lo, q1, median, q3,
+    whisker-hi) as ASCII boxplots on a shared axis ``[lower, upper]``."""
+    if len(labels) != len(summaries):
+        raise ValueError("labels and summaries must have equal length")
+    label_w = max((len(s) for s in labels), default=0)
+    lines = []
+    for label, s in zip(labels, summaries):
+        lo, q1, med, q3, hi = s
+        box = _ascii_box(lo, q1, med, q3, hi, lower, upper, width)
+        lines.append(
+            f"{label.ljust(label_w)} [{box}] "
+            f"lo={lo:.2f} q1={q1:.2f} med={med:.2f} q3={q3:.2f} hi={hi:.2f}"
+        )
+    axis = f"{'':{label_w}}  {lower:<{width // 2}.2f}{upper:>{width // 2}.2f}"
+    return "\n".join(lines + [axis])

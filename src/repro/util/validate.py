@@ -1,0 +1,65 @@
+"""Input-validation helpers.
+
+These raise :class:`repro.errors.ReproError` subtypes with messages that
+name the offending argument, so failures at the public API surface are
+self-explanatory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MatrixFormatError, ReproError
+
+
+def require(condition: bool, exc_type, message: str) -> None:
+    """Raise ``exc_type(message)`` unless ``condition`` holds.
+
+    ``exc_type`` must derive from :class:`ReproError` — this keeps the
+    promise that the library only raises its own exception hierarchy for
+    anticipated misuse.
+    """
+    if not issubclass(exc_type, ReproError):
+        raise TypeError("require() only raises ReproError subclasses")
+    if not condition:
+        raise exc_type(message)
+
+
+def check_positive(name: str, value, exc_type=MatrixFormatError):
+    """Validate that a scalar parameter is strictly positive."""
+    require(value > 0, exc_type, f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_square(nrows: int, ncols: int, exc_type=MatrixFormatError) -> None:
+    """Validate that a matrix is square (required by symmetric orderings)."""
+    require(
+        nrows == ncols,
+        exc_type,
+        f"matrix must be square, got {nrows} x {ncols}",
+    )
+
+
+def check_index_array(name: str, arr: np.ndarray, upper: int) -> np.ndarray:
+    """Validate an integer index array with entries in ``[0, upper)``.
+
+    Returns the array converted to ``int64`` (the library's canonical
+    index dtype; the paper stores column offsets as 32-bit but our
+    corpus sizes never overflow either way and int64 avoids silent
+    wraparound in intermediate arithmetic).
+    """
+    arr = np.asarray(arr)
+    require(
+        np.issubdtype(arr.dtype, np.integer),
+        MatrixFormatError,
+        f"{name} must be an integer array, got dtype {arr.dtype}",
+    )
+    if arr.size:
+        lo = int(arr.min())
+        hi = int(arr.max())
+        require(
+            lo >= 0 and hi < upper,
+            MatrixFormatError,
+            f"{name} entries must lie in [0, {upper}), got range [{lo}, {hi}]",
+        )
+    return arr.astype(np.int64, copy=False)

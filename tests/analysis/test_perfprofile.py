@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.analysis import performance_profile, profile_at
+from repro.errors import HarnessError
+
+
+def test_dominant_method_profile():
+    costs = {"fast": [1.0, 1.0, 1.0], "slow": [2.0, 2.0, 2.0]}
+    prof = performance_profile(costs)
+    assert profile_at(prof, "fast", 1.0) == pytest.approx(1.0)
+    assert profile_at(prof, "slow", 1.0) == pytest.approx(0.0)
+    assert profile_at(prof, "slow", 2.0) == pytest.approx(1.0)
+
+
+def test_profiles_monotone_nondecreasing():
+    rng = np.random.default_rng(0)
+    costs = {f"m{i}": rng.uniform(1, 10, 50) for i in range(4)}
+    prof = performance_profile(costs)
+    for name in costs:
+        assert np.all(np.diff(prof[name]) >= -1e-12)
+
+
+def test_rho_at_one_sums_to_at_least_one():
+    """At tau=1 at least one method is best per problem, so the sum of
+    rho(1) over methods is >= 1 (ties can push it above)."""
+    rng = np.random.default_rng(1)
+    costs = {f"m{i}": rng.uniform(1, 10, 40) for i in range(3)}
+    prof = performance_profile(costs)
+    total = sum(profile_at(prof, m, 1.0) for m in costs)
+    assert total >= 1.0 - 1e-12
+
+
+def test_zero_costs_handled():
+    costs = {"zero": [0.0, 0.0], "pos": [1.0, 0.0]}
+    prof = performance_profile(costs)
+    assert profile_at(prof, "zero", 1.0) == pytest.approx(1.0)
+    # pos matches the zero best only on the second problem
+    assert profile_at(prof, "pos", 10.0) == pytest.approx(0.5)
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(HarnessError):
+        performance_profile({"a": [1.0], "b": [1.0, 2.0]})
+
+
+def test_empty_rejected():
+    with pytest.raises(HarnessError):
+        performance_profile({})
+    with pytest.raises(HarnessError):
+        performance_profile({"a": []})
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(HarnessError):
+        performance_profile({"a": [-1.0]})
+
+
+def test_unknown_method_rejected():
+    prof = performance_profile({"a": [1.0]})
+    with pytest.raises(HarnessError):
+        profile_at(prof, "b", 1.0)
+
+
+def test_paper_interpretation_example():
+    """Mimic the paper's reading: point (1.0, 0.78) on a curve means the
+    method is best for 78% of matrices."""
+    costs = {"rcm": [1.0] * 78 + [2.0] * 22,
+             "other": [1.5] * 78 + [1.0] * 22}
+    prof = performance_profile(costs)
+    assert profile_at(prof, "rcm", 1.0) == pytest.approx(0.78)

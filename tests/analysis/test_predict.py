@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NearestCentroidPredictor,
+    extract_features,
+    recommend_ordering,
+)
+from repro.analysis.predict import PredictorFeatures
+from repro.errors import HarnessError
+from repro.generators import banded_matrix, circuit_matrix, stencil_2d
+
+
+def test_extract_features_shapes(rng):
+    a = stencil_2d(10, seed=0)
+    f = extract_features(a, nthreads=8)
+    assert 0 <= f.rel_bandwidth <= 1
+    assert 0 <= f.rel_offdiag <= 1
+    assert f.imbalance_1d >= 1.0
+    assert f.density > 0
+    assert f.vector().shape == (5,)
+
+
+def test_extract_features_empty_rejected():
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    a = csr_from_coo(coo_from_arrays(0, 0, [], []))
+    with pytest.raises(HarnessError):
+        extract_features(a)
+
+
+def test_recommendation_keeps_banded_original():
+    a = banded_matrix(2000, 8, seed=0)  # narrow band, balanced
+    assert recommend_ordering(a) == "original"
+
+
+def test_recommendation_gp_for_hub_matrices():
+    a = circuit_matrix(1000, rail_rows=3, rail_fanout=0.3, seed=0,
+                       scrambled=False)
+    assert recommend_ordering(a, kernel="1d") == "GP"
+
+
+def test_recommendation_for_scattered_mesh():
+    a = stencil_2d(30, seed=0, scrambled=True)
+    assert recommend_ordering(a) in ("RCM", "GP")
+
+
+def test_recommendation_2d_kernel():
+    a = stencil_2d(30, seed=0, scrambled=True)
+    assert recommend_ordering(a, kernel="2d") in ("RCM", "GP")
+
+
+def _features(vals):
+    return PredictorFeatures(*vals)
+
+
+def test_nearest_centroid_basic():
+    # two clearly separated regions
+    train_f = [_features([0.9, 0.8, 1.0, 6.0, 0.3]) for _ in range(5)]
+    train_f += [_features([0.02, 0.05, 1.0, 6.0, 0.3]) for _ in range(5)]
+    labels = ["GP"] * 5 + ["original"] * 5
+    p = NearestCentroidPredictor().fit(train_f, labels)
+    assert p.predict(_features([0.85, 0.75, 1.0, 6.0, 0.3])) == "GP"
+    assert p.predict(_features([0.01, 0.04, 1.0, 6.0, 0.3])) == "original"
+
+
+def test_nearest_centroid_untrained_rejected():
+    p = NearestCentroidPredictor()
+    assert not p.is_trained
+    with pytest.raises(HarnessError):
+        p.predict(_features([0, 0, 1, 1, 0]))
+
+
+def test_nearest_centroid_fit_validation():
+    with pytest.raises(HarnessError):
+        NearestCentroidPredictor().fit([], [])
+    with pytest.raises(HarnessError):
+        NearestCentroidPredictor().fit(
+            [_features([0, 0, 1, 1, 0])], ["a", "b"])
+
+
+def test_trained_from_sweep():
+    from repro.generators import build_corpus
+    from repro.harness import OrderingCache, run_sweep
+    from repro.machine import get_architecture
+
+    corpus = build_corpus("tiny", seed=3)[:5]
+    sweep = run_sweep(corpus, [get_architecture("Rome")],
+                      ["RCM", "GP"], cache=OrderingCache())
+    feats, labels = NearestCentroidPredictor.labels_from_sweep(
+        sweep, corpus, "1d", "Rome")
+    assert len(feats) == 5
+    assert set(labels) <= {"original", "RCM", "GP"}
+    p = NearestCentroidPredictor().fit(feats, labels)
+    # predictions come from the trained label set
+    for f in feats:
+        assert p.predict(f) in set(labels)

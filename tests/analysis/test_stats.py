@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.analysis import boxplot_summary, geomean, speedup_quartiles
+from repro.errors import HarnessError
+
+
+def test_geomean_known():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geomean_single():
+    assert geomean([3.5]) == pytest.approx(3.5)
+
+
+def test_geomean_empty_rejected():
+    with pytest.raises(HarnessError):
+        geomean([])
+
+
+def test_geomean_nonpositive_rejected():
+    with pytest.raises(HarnessError):
+        geomean([1.0, 0.0])
+    with pytest.raises(HarnessError):
+        geomean([1.0, -2.0])
+
+
+def test_geomean_below_arith_mean(rng):
+    vals = rng.uniform(0.5, 2.0, 100)
+    assert geomean(vals) <= vals.mean() + 1e-12
+
+
+def test_boxplot_summary_ordered():
+    lo, q1, med, q3, hi = boxplot_summary(np.arange(1, 101, dtype=float))
+    assert lo <= q1 <= med <= q3 <= hi
+    assert med == pytest.approx(50.5)
+
+
+def test_boxplot_whiskers_exclude_outliers():
+    vals = np.concatenate([np.ones(99), [1000.0]])
+    lo, q1, med, q3, hi = boxplot_summary(vals)
+    assert hi < 1000.0
+
+
+def test_boxplot_empty_rejected():
+    with pytest.raises(HarnessError):
+        boxplot_summary([])
+
+
+def test_speedup_quartiles():
+    q1, med, q3 = speedup_quartiles(np.linspace(0.5, 1.5, 101))
+    assert q1 == pytest.approx(0.75)
+    assert med == pytest.approx(1.0)
+    assert q3 == pytest.approx(1.25)
+
+
+def test_speedup_quartiles_empty():
+    with pytest.raises(HarnessError):
+        speedup_quartiles([])

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix import coo_from_arrays, csr_from_coo
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_csr(n, nnz, rng, symmetric=False, ncols=None):
+    """Build a random CSR matrix for tests (duplicates allowed pre-dedup)."""
+    ncols = n if ncols is None else ncols
+    row = rng.integers(0, n, nnz)
+    col = rng.integers(0, ncols, nnz)
+    vals = rng.standard_normal(nnz)
+    if symmetric:
+        row, col = np.concatenate([row, col]), np.concatenate([col, row])
+        vals = np.concatenate([vals, vals])
+    return csr_from_coo(coo_from_arrays(n, ncols, row, col, vals))
+
+
+@pytest.fixture
+def small_random_matrix(rng):
+    return random_csr(40, 200, rng)
+
+
+@pytest.fixture
+def small_symmetric_matrix(rng):
+    return random_csr(40, 160, rng, symmetric=True)

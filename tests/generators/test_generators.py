@@ -1,0 +1,209 @@
+"""Unit tests for every synthetic matrix family."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    banded_matrix,
+    cfd_blocks,
+    circuit_matrix,
+    fem_3d_blocks,
+    fem_mesh_2d,
+    kkt_matrix,
+    kmer_graph,
+    mycielskian_graph,
+    powerlaw_graph,
+    random_er,
+    rmat_graph,
+    road_network,
+    stencil_2d,
+    stencil_3d,
+)
+from repro.matrix import is_pattern_symmetric
+
+
+SYMMETRIC_BUILDERS = [
+    ("stencil2d", lambda: stencil_2d(8, seed=0)),
+    ("stencil3d", lambda: stencil_3d(4, seed=0)),
+    ("fem2d", lambda: fem_mesh_2d(120, seed=0)),
+    ("fem3d", lambda: fem_3d_blocks(60, dofs=3, seed=0)),
+    ("road", lambda: road_network(100, seed=0)),
+    ("kmer", lambda: kmer_graph(150, seed=0)),
+    ("rmat", lambda: rmat_graph(6, seed=0)),
+    ("powerlaw", lambda: powerlaw_graph(150, m=3, seed=0)),
+    ("banded", lambda: banded_matrix(80, 5, seed=0)),
+    ("mycielskian", lambda: mycielskian_graph(4, seed=0)),
+    ("kkt", lambda: kkt_matrix(100, seed=0)),
+    ("er", lambda: random_er(100, 6.0, seed=0)),
+    ("circuit", lambda: circuit_matrix(200, seed=0)),
+    ("cfd", lambda: cfd_blocks(36, dofs=3, seed=0)),
+]
+
+
+@pytest.mark.parametrize("name,builder", SYMMETRIC_BUILDERS)
+def test_pattern_symmetric(name, builder):
+    a = builder()
+    assert a.is_square
+    assert is_pattern_symmetric(a), f"{name} should be pattern symmetric"
+
+
+@pytest.mark.parametrize("name,builder", SYMMETRIC_BUILDERS)
+def test_deterministic(name, builder):
+    a, b = builder(), builder()
+    assert np.array_equal(a.rowptr, b.rowptr)
+    assert np.array_equal(a.colidx, b.colidx)
+    assert np.array_equal(a.values, b.values)
+
+
+def test_stencil_2d_interior_degree():
+    a = stencil_2d(6, spd=True)
+    # interior rows have 4 neighbours + diagonal
+    lengths = a.row_lengths()
+    assert lengths.max() == 5
+    assert lengths.min() == 3  # corners: 2 neighbours + diagonal
+
+
+def test_stencil_3d_interior_degree():
+    a = stencil_3d(4, spd=True)
+    assert a.row_lengths().max() == 7
+
+
+def test_stencil_spd_is_diagonally_dominant():
+    a = stencil_2d(6, spd=True)
+    dense = a.to_dense()
+    diag = np.abs(np.diag(dense))
+    off = np.abs(dense).sum(axis=1) - diag
+    assert np.all(diag >= off)  # weak dominance with positive boost
+    eig = np.linalg.eigvalsh(dense)
+    assert eig.min() > 0
+
+
+def test_scrambled_stencil_has_larger_bandwidth():
+    a = stencil_2d(12, seed=3, scrambled=False)
+    b = stencil_2d(12, seed=3, scrambled=True)
+    rows_a = a.row_of_entry()
+    rows_b = b.row_of_entry()
+    bw = lambda m, r: int(np.abs(r - m.colidx).max())
+    assert bw(b, rows_b) > bw(a, rows_a)
+
+
+def test_fem_3d_blocks_has_block_structure():
+    a = fem_3d_blocks(40, dofs=3, seed=1)
+    assert a.nrows == 120
+    # every 3-row block of a node shares its column block pattern density
+    lengths = a.row_lengths().reshape(-1, 3)
+    assert np.all(np.abs(lengths - lengths.mean(axis=1, keepdims=True)) <= 1)
+
+
+def test_cfd_rows_near_uniform():
+    a = cfd_blocks(49, dofs=4, seed=0)
+    lengths = a.row_lengths()
+    # interior cells all have the same coupling size
+    assert lengths.std() / lengths.mean() < 0.35
+
+
+def test_road_network_low_degree():
+    a = road_network(900, seed=2)
+    mean_deg = a.nnz / a.nrows
+    assert mean_deg < 4.5
+
+
+def test_kmer_graph_degree_capped():
+    a = kmer_graph(500, branch=0.05, seed=0)
+    assert a.row_lengths().mean() < 4
+
+
+def test_rmat_heavy_tail():
+    a = rmat_graph(9, edge_factor=8, seed=1)
+    lengths = np.sort(a.row_lengths())[::-1]
+    # hubs: top row much heavier than median
+    assert lengths[0] > 8 * max(np.median(lengths), 1)
+
+
+def test_rmat_unsymmetric_mode():
+    a = rmat_graph(7, seed=0, symmetric=False)
+    assert not is_pattern_symmetric(a)
+
+
+def test_rmat_bad_probs_rejected():
+    with pytest.raises(ValueError):
+        rmat_graph(5, probs=(0.5, 0.1, 0.1, 0.1))
+
+
+def test_powerlaw_hub_exists():
+    a = powerlaw_graph(400, m=4, seed=0)
+    lengths = a.row_lengths()
+    assert lengths.max() > 4 * np.median(lengths)
+
+
+def test_powerlaw_clusters_reduce_offblock():
+    plain = powerlaw_graph(600, m=4, clusters=0, seed=5, scrambled=False)
+    clustered = powerlaw_graph(600, m=4, clusters=12, intra_frac=0.9,
+                               seed=5, scrambled=False)
+    assert clustered.is_square and plain.is_square
+
+
+def test_banded_respects_bandwidth():
+    a = banded_matrix(60, 4, density=1.0, seed=0)
+    rows = a.row_of_entry()
+    assert np.abs(rows - a.colidx).max() <= 4
+
+
+def test_banded_rejects_bad_density():
+    with pytest.raises(ValueError):
+        banded_matrix(10, 2, density=0.0)
+
+
+def test_mycielskian_size_recurrence():
+    # n_{k+1} = 2 n_k + 1 starting from 2
+    n = 2
+    for k in range(1, 5):
+        n = 2 * n + 1
+        a = mycielskian_graph(k, seed=0)
+        assert a.nrows == n
+
+
+def test_mycielskian_triangle_free_small():
+    a = mycielskian_graph(3, seed=0)
+    d = (a.to_dense() != 0).astype(int)
+    np.fill_diagonal(d, 0)
+    # trace(A^3) counts triangles x6
+    assert np.trace(d @ d @ d) == 0
+
+
+def test_kkt_has_zero_corner_block():
+    a = kkt_matrix(100, constraint_frac=0.3, seed=0, scrambled=False)
+    side = int(np.sqrt(100))
+    np_ = side * side
+    dense = a.to_dense()
+    corner = dense[np_:, np_:]
+    assert np.all(corner == 0)
+
+
+def test_circuit_has_rail_hubs():
+    a = circuit_matrix(800, rail_rows=3, rail_fanout=0.05, seed=0,
+                       scrambled=False)
+    lengths = np.sort(a.row_lengths())
+    assert lengths[-1] > 5 * np.median(lengths)
+
+
+def test_er_average_degree():
+    a = random_er(1000, 8.0, seed=0)
+    assert 5.0 < a.nnz / a.nrows < 9.0
+
+
+def test_er_unsymmetric():
+    a = random_er(200, 6.0, symmetric=False, seed=0)
+    assert not is_pattern_symmetric(a)
+
+
+def test_bad_sizes_rejected():
+    with pytest.raises(GeneratorError):
+        stencil_2d(0)
+    with pytest.raises(GeneratorError):
+        kmer_graph(1)
+    with pytest.raises(ValueError):
+        road_network(100, keep=0.0)
+    with pytest.raises(ValueError):
+        random_er(10, 0.0)

@@ -1,0 +1,101 @@
+"""Tests for the corpus registry and named stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import build_corpus, corpus_names, named_matrix
+from repro.generators.suite import named_matrix_names
+from repro.matrix import is_pattern_symmetric
+
+
+def test_tiny_corpus_builds():
+    corpus = build_corpus("tiny", seed=0)
+    assert len(corpus) >= 25
+    names = [e.name for e in corpus]
+    assert len(set(names)) == len(names)  # unique names
+
+
+def test_corpus_entries_square_and_nonempty():
+    for e in build_corpus("tiny", seed=0):
+        assert e.matrix.is_square
+        assert e.nnz > 0
+        assert e.nrows > 0
+
+
+def test_corpus_deterministic():
+    c1 = build_corpus("tiny", seed=7)
+    c2 = build_corpus("tiny", seed=7)
+    for a, b in zip(c1, c2):
+        assert a.name == b.name
+        assert np.array_equal(a.matrix.colidx, b.matrix.colidx)
+
+
+def test_corpus_seed_changes_matrices():
+    c1 = build_corpus("tiny", seed=1)
+    c2 = build_corpus("tiny", seed=2)
+    diffs = sum(
+        not (a.matrix.nnz == b.matrix.nnz
+             and np.array_equal(a.matrix.colidx, b.matrix.colidx))
+        for a, b in zip(c1, c2))
+    assert diffs > len(c1) // 2
+
+
+def test_corpus_group_filter():
+    corpus = build_corpus("tiny", seed=0, groups=("PDE",))
+    assert all(e.group == "PDE" for e in corpus)
+    assert len(corpus) >= 4
+
+
+def test_corpus_empty_filter_rejected():
+    with pytest.raises(GeneratorError):
+        build_corpus("tiny", seed=0, groups=("NoSuchGroup",))
+
+
+def test_unknown_tier_rejected():
+    with pytest.raises(GeneratorError):
+        build_corpus("gigantic")
+
+
+def test_corpus_names_match_build():
+    names = corpus_names("tiny")
+    built = [e.name for e in build_corpus("tiny", seed=0)]
+    assert names == built
+
+
+def test_spd_entries_are_symmetric():
+    for e in build_corpus("tiny", seed=0):
+        if e.spd:
+            assert is_pattern_symmetric(e.matrix), e.name
+
+
+def test_all_named_matrices_build():
+    for name in named_matrix_names():
+        e = named_matrix(name, scale=0.25)
+        assert e.nnz > 0, name
+        assert e.matrix.is_square, name
+
+
+def test_named_matrix_scale():
+    small = named_matrix("europe_osm", scale=0.25)
+    big = named_matrix("europe_osm", scale=0.5)
+    assert big.nrows > small.nrows
+
+
+def test_named_matrix_unknown_rejected():
+    with pytest.raises(GeneratorError):
+        named_matrix("not_a_matrix")
+
+
+def test_named_matrix_deterministic():
+    a = named_matrix("Freescale2", scale=0.25)
+    b = named_matrix("Freescale2", scale=0.25)
+    assert np.array_equal(a.matrix.colidx, b.matrix.colidx)
+
+
+def test_figure1_and_table5_stand_ins_present():
+    needed = {"Freescale2", "com-Amazon", "kmer_V1r", "delaunay_n24",
+              "europe_osm", "Flan_1565", "HV15R", "indochina-2004",
+              "kron_g500-logn21", "mycielskian19", "nlpkkt240",
+              "vas_stokes_4M", "333SP", "nv2", "audikw_1"}
+    assert needed <= set(named_matrix_names())

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.graph import Graph, graph_from_matrix
+from repro.matrix import csr_from_dense
+
+from ..conftest import random_csr
+
+
+def path_graph(n):
+    """0-1-2-...-(n-1) as a Graph."""
+    dense = np.zeros((n, n))
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = 1.0
+    return graph_from_matrix(csr_from_dense(dense))
+
+
+def test_graph_from_symmetric_matrix():
+    dense = np.array([[1.0, 2.0, 0.0], [2.0, 0.0, 3.0], [0.0, 3.0, 1.0]])
+    g = graph_from_matrix(csr_from_dense(dense))
+    assert g.nvertices == 3
+    assert g.nedges == 2  # diagonal dropped
+    assert set(g.neighbours(1).tolist()) == {0, 2}
+
+
+def test_diagonal_dropped(rng):
+    a = csr_from_dense(np.eye(5))
+    g = graph_from_matrix(a)
+    assert g.nedges == 0
+    assert np.all(g.degrees() == 0)
+
+
+def test_unsymmetric_matrix_symmetrized(rng):
+    dense = np.zeros((3, 3))
+    dense[0, 2] = 1.0  # only one triangle
+    g = graph_from_matrix(csr_from_dense(dense))
+    assert g.nedges == 1
+    assert 0 in g.neighbours(2)
+
+
+def test_unsymmetric_rejected_when_disallowed():
+    dense = np.zeros((3, 3))
+    dense[0, 2] = 1.0
+    with pytest.raises(MatrixFormatError):
+        graph_from_matrix(csr_from_dense(dense), symmetrize=False)
+
+
+def test_rectangular_rejected(rng):
+    a = random_csr(4, 8, rng, ncols=5)
+    with pytest.raises(MatrixFormatError):
+        graph_from_matrix(a)
+
+
+def test_every_edge_stored_twice(rng):
+    a = random_csr(30, 100, rng, symmetric=True)
+    g = graph_from_matrix(a)
+    # adjacency symmetric: v in N(u) iff u in N(v)
+    for u in range(g.nvertices):
+        for v in g.neighbours(u):
+            assert u in g.neighbours(int(v))
+
+
+def test_weighted_vertices(rng):
+    a = random_csr(10, 50, rng)
+    g = graph_from_matrix(a, weighted_vertices=True)
+    assert np.array_equal(g.vwgt, np.maximum(a.row_lengths(), 1))
+
+
+def test_degrees_match_adjacency(rng):
+    g = path_graph(6)
+    assert np.array_equal(g.degrees(), [1, 2, 2, 2, 2, 1])
+
+
+def test_total_edge_weight():
+    g = path_graph(5)
+    assert g.total_edge_weight() == 4
+    assert g.total_vertex_weight() == 5
+
+
+def test_invalid_xadj_rejected():
+    with pytest.raises(MatrixFormatError):
+        Graph(np.array([0, 2, 1]), np.array([1, 0]))
+
+
+def test_adjncy_out_of_range_rejected():
+    with pytest.raises(MatrixFormatError):
+        Graph(np.array([0, 1]), np.array([3]))

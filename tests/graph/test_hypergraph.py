@@ -1,0 +1,52 @@
+import numpy as np
+
+from repro.graph import column_net_hypergraph
+from repro.matrix import csr_from_dense
+
+from ..conftest import random_csr
+
+
+def test_column_net_structure():
+    dense = np.array([
+        [1.0, 0.0, 2.0],
+        [0.0, 3.0, 4.0],
+    ])
+    h = column_net_hypergraph(csr_from_dense(dense))
+    assert h.nvertices == 2
+    assert h.nnets == 3
+    assert h.npins == 4
+    assert set(h.pins(0).tolist()) == {0}
+    assert set(h.pins(1).tolist()) == {1}
+    assert set(h.pins(2).tolist()) == {0, 1}
+
+
+def test_dual_views_consistent(rng):
+    a = random_csr(25, 120, rng, ncols=30)
+    h = column_net_hypergraph(a)
+    # pin (v in net e) must appear in both incidence views
+    for e in range(h.nnets):
+        for v in h.pins(e):
+            assert e in h.nets_of(int(v))
+    for v in range(h.nvertices):
+        for e in h.nets_of(v):
+            assert v in h.pins(int(e))
+
+
+def test_net_sizes_match_column_counts(rng):
+    a = random_csr(20, 100, rng, ncols=25)
+    h = column_net_hypergraph(a)
+    counts = np.bincount(a.colidx, minlength=25)
+    assert np.array_equal(h.net_sizes(), counts)
+
+
+def test_pin_count_equals_nnz(rng):
+    a = random_csr(15, 70, rng)
+    h = column_net_hypergraph(a)
+    assert h.npins == a.nnz
+
+
+def test_default_weights_are_unit(rng):
+    a = random_csr(10, 40, rng)
+    h = column_net_hypergraph(a)
+    assert np.all(h.vwgt == 1)
+    assert np.all(h.nwgt == 1)

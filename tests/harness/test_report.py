@@ -1,0 +1,60 @@
+"""Rendering edge cases for the report module."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import SpeedupStudy
+from repro.harness.report import (
+    render_boxplot_figure,
+    render_fill_figure,
+    render_geomean_table,
+)
+
+
+def _study(kernel="1d"):
+    study = SpeedupStudy(kernel=kernel)
+    rng = np.random.default_rng(0)
+    for arch in ("A1", "A2"):
+        for o in ("RCM", "ND", "AMD", "GP", "HP", "Gray"):
+            sp = rng.uniform(0.6, 1.8, 10)
+            study.raw[(arch, o)] = sp
+            from repro.analysis import boxplot_summary, geomean
+
+            study.boxes[(arch, o)] = boxplot_summary(sp)
+            study.geomeans[(arch, o)] = geomean(sp)
+    return study
+
+
+def test_geomean_table_mean_row_consistent():
+    study = _study()
+    rows = study.geomean_table(["A1", "A2"],
+                               ["RCM", "ND", "AMD", "GP", "HP", "Gray"])
+    assert rows[-1][0] == "Mean"
+    # the per-row mean of arch A1 equals the geomean of its 6 entries
+    vals = [study.geomeans[("A1", o)]
+            for o in ("RCM", "ND", "AMD", "GP", "HP", "Gray")]
+    expected = float(np.exp(np.mean(np.log(vals))))
+    assert rows[0][-1] == pytest.approx(expected)
+
+
+def test_render_geomean_table_contains_title():
+    out = render_geomean_table(_study(), ["A1", "A2"], "My Table")
+    assert out.startswith("My Table")
+    assert "A1" in out and "Gray" in out
+
+
+def test_render_boxplots_all_archs():
+    out = render_boxplot_figure(_study(), ["A1", "A2"], "Figure X")
+    assert out.count("--") >= 2
+    assert "med=" in out
+
+
+def test_render_fill_figure_scales_axis():
+    fill = {
+        "original": (1.0, 2.0, 3.0, 4.0, 5.0),
+        "AMD": (1.0, 1.2, 1.5, 1.8, 2.0),
+        "_raw": {"original": [3.0], "AMD": [1.5]},
+    }
+    out = render_fill_figure(fill)
+    assert "original" in out and "AMD" in out
+    assert "_raw" not in out

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.generators import build_corpus
+from repro.harness import OrderingCache, run_sweep
+from repro.machine import get_architecture
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_corpus("tiny", seed=0)[:4]
+
+
+@pytest.fixture(scope="module")
+def small_sweep(tiny_corpus):
+    archs = [get_architecture("Rome")]
+    return run_sweep(tiny_corpus, archs, ["RCM", "Gray"],
+                     cache=OrderingCache())
+
+
+def test_sweep_record_count(small_sweep, tiny_corpus):
+    # (1 baseline + 2 orderings) x 2 kernels x 4 matrices x 1 arch
+    assert len(small_sweep.records) == 3 * 2 * 4
+
+
+def test_sweep_lookup(small_sweep, tiny_corpus):
+    name = tiny_corpus[0].name
+    rec = small_sweep.lookup(name, "original", "1d", "Rome")
+    assert rec.matrix == name
+    with pytest.raises(KeyError):
+        small_sweep.lookup(name, "GP", "1d", "Rome")
+
+
+def test_sweep_speedups(small_sweep, tiny_corpus):
+    sp = small_sweep.speedups("RCM", "1d", "Rome")
+    assert sp.shape == (len(tiny_corpus),)
+    assert np.all(sp > 0)
+
+
+def test_sweep_matrices_order(small_sweep, tiny_corpus):
+    assert small_sweep.matrices() == [e.name for e in tiny_corpus]
+
+
+def test_ordering_cache_memoises(tiny_corpus):
+    cache = OrderingCache()
+    e = tiny_corpus[0]
+    r1 = cache.get(e.matrix, e.name, "RCM")
+    r2 = cache.get(e.matrix, e.name, "RCM")
+    assert r1 is r2
+
+
+def test_ordering_cache_nparts_only_matters_for_gp(tiny_corpus):
+    cache = OrderingCache()
+    e = tiny_corpus[0]
+    a = cache.get(e.matrix, e.name, "RCM", nparts=16)
+    b = cache.get(e.matrix, e.name, "RCM", nparts=128)
+    assert a is b
+    g16 = cache.get(e.matrix, e.name, "GP", nparts=4)
+    g32 = cache.get(e.matrix, e.name, "GP", nparts=8)
+    assert g16 is not g32
+
+
+def test_ordering_cache_disk_roundtrip(tiny_corpus, tmp_path):
+    e = tiny_corpus[0]
+    c1 = OrderingCache(path=str(tmp_path))
+    r1 = c1.get(e.matrix, e.name, "RCM")
+    c2 = OrderingCache(path=str(tmp_path))
+    r2 = c2.get(e.matrix, e.name, "RCM")
+    assert np.array_equal(r1.perm, r2.perm)
+    assert r2.algorithm == "RCM"
+    assert r2.symmetric
+
+
+def test_model_factory_hook(tiny_corpus):
+    from repro.machine import PerfModel
+
+    calls = []
+
+    def factory(arch):
+        calls.append(arch.name)
+        return PerfModel(arch, locality_term=False)
+
+    run_sweep(tiny_corpus[:1], [get_architecture("Rome")], ["Gray"],
+              model_factory=factory)
+    assert calls == ["Rome"]

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.generators import random_er, stencil_2d
+from repro.machine import NumaModel, PerfModel, get_architecture
+from repro.reorder import gp_ordering
+from repro.spmv import schedule_1d
+
+
+@pytest.fixture(scope="module")
+def milan():
+    return get_architecture("Milan B")
+
+
+@pytest.fixture(scope="module")
+def scattered():
+    return random_er(1500, 8.0, seed=0)
+
+
+def test_local_only_matches_base_model(milan, scattered):
+    base = PerfModel(milan)
+    numa = NumaModel(milan, placement="local_only")
+    s = schedule_1d(scattered, milan.threads)
+    assert numa.predict(scattered, s).seconds == pytest.approx(
+        base.predict(scattered, s).seconds)
+
+
+def test_interleaved_slowest(milan, scattered):
+    s = schedule_1d(scattered, milan.threads)
+    times = {p: NumaModel(milan, placement=p).predict(
+        scattered, s).seconds for p in
+        ("local_only", "first_touch", "interleaved")}
+    assert times["local_only"] <= times["first_touch"]
+    assert times["first_touch"] <= times["interleaved"]
+
+
+def test_first_touch_rewards_block_local_orderings(milan):
+    """GP reordering concentrates each thread's x accesses in its own
+    block, so first-touch NUMA hurts it less than the scattered
+    original order (relative surcharge comparison)."""
+    a = random_er(2000, 8.0, seed=1)
+    r = gp_ordering(a, nparts=milan.gp_parts, seed=0)
+    b = r.apply(a)
+    s_a = schedule_1d(a, milan.threads)
+    s_b = schedule_1d(b, milan.threads)
+    local = NumaModel(milan, placement="local_only")
+    ft = NumaModel(milan, placement="first_touch")
+    surcharge_orig = (ft.predict(a, s_a).seconds
+                      / local.predict(a, s_a).seconds)
+    surcharge_gp = (ft.predict(b, s_b).seconds
+                    / local.predict(b, s_b).seconds)
+    assert surcharge_gp <= surcharge_orig + 1e-9
+
+
+def test_single_socket_has_no_surcharge(scattered):
+    rome = get_architecture("Rome")  # 1 socket
+    s = schedule_1d(scattered, rome.threads)
+    base = PerfModel(rome).predict(scattered, s).seconds
+    ft = NumaModel(rome, placement="first_touch").predict(
+        scattered, s).seconds
+    assert ft == pytest.approx(base)
+
+
+def test_invalid_placement_rejected(milan):
+    with pytest.raises(ArchitectureError):
+        NumaModel(milan, placement="magic")
+
+
+def test_invalid_penalty_rejected(milan):
+    with pytest.raises(ArchitectureError):
+        NumaModel(milan, remote_penalty=0.5)
+
+
+def test_remote_fraction_bounds(milan, scattered):
+    m = NumaModel(milan, placement="first_touch")
+    s = schedule_1d(scattered, milan.threads)
+    for t in range(milan.threads):
+        f = m._remote_fraction(scattered, s, t)
+        assert 0.0 <= f <= 0.5

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.matrix import CSRMatrix, coo_from_arrays, csr_from_coo, csr_from_dense, csr_identity
+
+from ..conftest import random_csr
+
+
+def test_from_coo_sorts_and_dedups(rng):
+    coo = coo_from_arrays(3, 3, [2, 0, 0, 2], [0, 2, 2, 0], [1.0, 1.0, 2.0, 3.0])
+    a = csr_from_coo(coo)
+    assert a.nnz == 2
+    dense = a.to_dense()
+    assert dense[0, 2] == 3.0
+    assert dense[2, 0] == 4.0
+
+
+def test_matches_scipy_on_random(rng):
+    a = random_csr(60, 400, rng)
+    sp = a.to_scipy()
+    assert np.allclose(a.to_dense(), sp.toarray())
+
+
+def test_matvec_matches_scipy(rng):
+    a = random_csr(50, 300, rng, ncols=70)
+    x = rng.standard_normal(70)
+    assert np.allclose(a.matvec(x), a.to_scipy() @ x)
+
+
+def test_matvec_shape_check(rng):
+    a = random_csr(5, 10, rng)
+    with pytest.raises(MatrixFormatError):
+        a.matvec(np.zeros(6))
+
+
+def test_row_lengths_and_row_of_entry(rng):
+    a = random_csr(30, 120, rng)
+    lengths = a.row_lengths()
+    assert lengths.sum() == a.nnz
+    rows = a.row_of_entry()
+    assert np.array_equal(np.bincount(rows, minlength=30), lengths)
+
+
+def test_transpose_roundtrip(rng):
+    a = random_csr(25, 100, rng, ncols=40)
+    t = a.transpose()
+    assert t.shape == (40, 25)
+    assert np.allclose(t.to_dense(), a.to_dense().T)
+    assert np.allclose(t.transpose().to_dense(), a.to_dense())
+
+
+def test_diagonal(rng):
+    a = csr_from_dense(np.array([[1.0, 2.0], [0.0, 5.0]]))
+    assert np.array_equal(a.diagonal(), [1.0, 5.0])
+
+
+def test_diagonal_with_missing_entries():
+    a = csr_from_dense(np.array([[0.0, 2.0], [3.0, 0.0]]))
+    assert np.array_equal(a.diagonal(), [0.0, 0.0])
+
+
+def test_identity():
+    eye = csr_identity(4)
+    assert np.allclose(eye.to_dense(), np.eye(4))
+
+
+def test_pattern_only(rng):
+    a = random_csr(10, 40, rng)
+    p = a.pattern_only()
+    assert np.all(p.values == 1.0)
+    assert np.array_equal(p.colidx, a.colidx)
+
+
+def test_unsorted_columns_rejected():
+    with pytest.raises(MatrixFormatError):
+        CSRMatrix(2, 3, np.array([0, 2, 2]), np.array([2, 1]),
+                  np.array([1.0, 2.0]))
+
+
+def test_duplicate_columns_in_row_rejected():
+    with pytest.raises(MatrixFormatError):
+        CSRMatrix(1, 3, np.array([0, 2]), np.array([1, 1]),
+                  np.array([1.0, 2.0]))
+
+
+def test_bad_rowptr_rejected():
+    with pytest.raises(MatrixFormatError):
+        CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0, 1]),
+                  np.array([1.0, 2.0]))
+
+
+def test_rowptr_must_start_at_zero():
+    with pytest.raises(MatrixFormatError):
+        CSRMatrix(1, 2, np.array([1, 2]), np.array([0]), np.array([1.0]))
+
+
+def test_row_slice(rng):
+    a = csr_from_dense(np.array([[0.0, 1.0, 2.0], [3.0, 0.0, 0.0]]))
+    cols, vals = a.row_slice(0)
+    assert np.array_equal(cols, [1, 2])
+    assert np.array_equal(vals, [1.0, 2.0])
+
+
+def test_csr_from_dense_tolerance():
+    a = csr_from_dense(np.array([[1e-12, 1.0]]), tol=1e-9)
+    assert a.nnz == 1
+
+
+def test_to_coo_roundtrip(rng):
+    a = random_csr(20, 80, rng)
+    b = csr_from_coo(a.to_coo())
+    assert np.allclose(a.to_dense(), b.to_dense())

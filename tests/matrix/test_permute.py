@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.errors import PermutationError
+from repro.matrix import permute_csr, permute_rows, permute_symmetric
+from repro.matrix.permute import invert_permutation
+
+from ..conftest import random_csr
+
+
+def test_symmetric_permutation_matches_dense(rng):
+    a = random_csr(30, 150, rng)
+    p = rng.permutation(30)
+    pa = permute_symmetric(a, p)
+    assert np.allclose(pa.to_dense(), a.to_dense()[np.ix_(p, p)])
+
+
+def test_row_permutation_matches_dense(rng):
+    a = random_csr(30, 150, rng, ncols=45)
+    p = rng.permutation(30)
+    pa = permute_rows(a, p)
+    assert np.allclose(pa.to_dense(), a.to_dense()[p, :])
+
+
+def test_two_sided_permutation_matches_dense(rng):
+    a = random_csr(20, 100, rng, ncols=35)
+    rp = rng.permutation(20)
+    cp = rng.permutation(35)
+    pa = permute_csr(a, rp, cp)
+    assert np.allclose(pa.to_dense(), a.to_dense()[np.ix_(rp, cp)])
+
+
+def test_identity_permutation_is_noop(rng):
+    a = random_csr(25, 90, rng)
+    p = np.arange(25)
+    assert np.allclose(permute_symmetric(a, p).to_dense(), a.to_dense())
+    assert np.allclose(permute_rows(a, p).to_dense(), a.to_dense())
+
+
+def test_inverse_permutation_undoes(rng):
+    a = random_csr(25, 90, rng)
+    p = rng.permutation(25)
+    back = permute_symmetric(permute_symmetric(a, p), invert_permutation(p))
+    assert np.allclose(back.to_dense(), a.to_dense())
+
+
+def test_invert_permutation_involution(rng):
+    p = rng.permutation(50)
+    assert np.array_equal(invert_permutation(invert_permutation(p)), p)
+
+
+def test_wrong_length_rejected(rng):
+    a = random_csr(10, 30, rng)
+    with pytest.raises(PermutationError):
+        permute_symmetric(a, np.arange(9))
+
+
+def test_non_bijection_rejected(rng):
+    a = random_csr(10, 30, rng)
+    p = np.zeros(10, dtype=np.int64)
+    with pytest.raises(PermutationError):
+        permute_rows(a, p)
+
+
+def test_out_of_range_rejected(rng):
+    a = random_csr(10, 30, rng)
+    p = np.arange(10)
+    p[0] = 10
+    with pytest.raises(PermutationError):
+        permute_rows(a, p)
+
+
+def test_symmetric_requires_square(rng):
+    a = random_csr(10, 30, rng, ncols=12)
+    with pytest.raises(PermutationError):
+        permute_symmetric(a, np.arange(10))
+
+
+def test_row_permutation_preserves_row_contents(rng):
+    a = random_csr(15, 60, rng)
+    p = rng.permutation(15)
+    pa = permute_rows(a, p)
+    for new_row in range(15):
+        cols, vals = pa.row_slice(new_row)
+        ocols, ovals = a.row_slice(int(p[new_row]))
+        assert np.array_equal(cols, ocols)
+        assert np.array_equal(vals, ovals)

@@ -1,0 +1,75 @@
+"""Property-based tests for the matrix substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix import coo_from_arrays, csr_from_coo, permute_symmetric
+from repro.matrix.permute import invert_permutation
+
+
+@st.composite
+def coo_triplets(draw, max_n=30, max_nnz=120):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=nnz, max_size=nnz))
+    return n, np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64), \
+        np.array(vals)
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip_preserves_dense(data):
+    n, rows, cols, vals = data
+    coo = coo_from_arrays(n, n, rows, cols, vals)
+    a = csr_from_coo(coo)
+    assert np.allclose(a.to_dense(), coo.to_dense())
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants(data):
+    n, rows, cols, vals = data
+    a = csr_from_coo(coo_from_arrays(n, n, rows, cols, vals))
+    assert a.rowptr[0] == 0
+    assert a.rowptr[-1] == a.nnz
+    assert np.all(np.diff(a.rowptr) >= 0)
+    for i in range(n):
+        c, _ = a.row_slice(i)
+        assert np.all(np.diff(c) > 0)
+
+
+@given(coo_triplets(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_symmetric_permutation_roundtrip(data, seed):
+    n, rows, cols, vals = data
+    a = csr_from_coo(coo_from_arrays(n, n, rows, cols, vals))
+    p = np.random.default_rng(seed).permutation(n)
+    back = permute_symmetric(permute_symmetric(a, p), invert_permutation(p))
+    assert np.allclose(back.to_dense(), a.to_dense())
+
+
+@given(coo_triplets())
+@settings(max_examples=40, deadline=None)
+def test_matvec_linear(data):
+    n, rows, cols, vals = data
+    a = csr_from_coo(coo_from_arrays(n, n, rows, cols, vals))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    left = a.matvec(2.0 * x + y)
+    right = 2.0 * a.matvec(x) + a.matvec(y)
+    assert np.allclose(left, right)
+
+
+@given(st.integers(1, 40), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_invert_permutation_is_inverse(n, seed):
+    p = np.random.default_rng(seed).permutation(n)
+    inv = invert_permutation(p)
+    assert np.array_equal(p[inv], np.arange(n))
+    assert np.array_equal(inv[p], np.arange(n))

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.matrix import csr_from_dense, is_pattern_symmetric, symmetrize_pattern
+
+from ..conftest import random_csr
+
+
+def test_symmetric_pattern_detected():
+    a = csr_from_dense(np.array([[1.0, 2.0], [3.0, 0.0]]))
+    assert is_pattern_symmetric(a)  # values differ but pattern symmetric
+
+
+def test_asymmetric_pattern_detected():
+    a = csr_from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    assert not is_pattern_symmetric(a)
+
+
+def test_rectangular_never_symmetric(rng):
+    a = random_csr(5, 10, rng, ncols=6)
+    assert not is_pattern_symmetric(a)
+
+
+def test_symmetrize_produces_symmetric_pattern(rng):
+    a = random_csr(30, 100, rng)
+    s = symmetrize_pattern(a)
+    assert is_pattern_symmetric(s)
+
+
+def test_symmetrize_is_union_of_patterns(rng):
+    a = random_csr(20, 60, rng)
+    s = symmetrize_pattern(a)
+    da = a.to_dense() != 0
+    ds = s.to_dense() != 0
+    assert np.array_equal(ds, da | da.T)
+
+
+def test_symmetrize_idempotent(rng):
+    a = random_csr(20, 60, rng)
+    s1 = symmetrize_pattern(a)
+    s2 = symmetrize_pattern(s1)
+    assert np.array_equal(s1.colidx, s2.colidx)
+    assert np.array_equal(s1.rowptr, s2.rowptr)
+
+
+def test_symmetrize_rejects_rectangular(rng):
+    a = random_csr(5, 10, rng, ncols=6)
+    with pytest.raises(ValueError):
+        symmetrize_pattern(a)
+
+
+def test_symmetrize_values_are_unit(rng):
+    a = random_csr(10, 30, rng)
+    s = symmetrize_pattern(a)
+    assert np.all(s.values == 1.0)

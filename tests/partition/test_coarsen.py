@@ -1,0 +1,72 @@
+import numpy as np
+
+from repro.generators import fem_mesh_2d, stencil_2d
+from repro.graph import graph_from_matrix
+from repro.partition.coarsen import coarsen_hierarchy, contract
+from repro.partition.matching import heavy_edge_matching, matching_to_coarse_map
+
+
+def test_contract_preserves_total_vertex_weight():
+    g = graph_from_matrix(stencil_2d(12, seed=0))
+    match = heavy_edge_matching(g, rng=np.random.default_rng(0))
+    cmap, nc = matching_to_coarse_map(match)
+    coarse = contract(g, cmap, nc)
+    assert coarse.total_vertex_weight() == g.total_vertex_weight()
+
+
+def test_contract_drops_intra_pair_edges():
+    g = graph_from_matrix(stencil_2d(8, seed=0))
+    match = heavy_edge_matching(g, rng=np.random.default_rng(1))
+    cmap, nc = matching_to_coarse_map(match)
+    coarse = contract(g, cmap, nc)
+    # every fine edge is either inside a pair (gone) or crosses (kept);
+    # total edge weight can only decrease
+    assert coarse.total_edge_weight() <= g.total_edge_weight()
+    # coarse graph has no self-loops
+    src = np.repeat(np.arange(coarse.nvertices), coarse.degrees())
+    assert np.all(src != coarse.adjncy)
+
+
+def test_contract_merges_parallel_edges():
+    # square 0-1-2-3-0; match (0,1) and (2,3): coarse graph has
+    # two parallel fine edges merging into one weight-2 edge
+    from repro.graph.adjacency import Graph
+
+    xadj = np.array([0, 2, 4, 6, 8])
+    adjncy = np.array([1, 3, 0, 2, 1, 3, 2, 0])
+    g = Graph(xadj, adjncy)
+    cmap = np.array([0, 0, 1, 1])
+    coarse = contract(g, cmap, 2)
+    assert coarse.nvertices == 2
+    assert coarse.adjncy.size == 2  # one undirected edge
+    assert coarse.ewgt[0] == 2
+
+
+def test_cut_weight_preserved_under_contraction():
+    # the cut of a coarse partition equals the fine cut of its preimage
+    from repro.partition.metrics import edge_cut
+
+    g = graph_from_matrix(fem_mesh_2d(300, seed=0))
+    match = heavy_edge_matching(g, rng=np.random.default_rng(0))
+    cmap, nc = matching_to_coarse_map(match)
+    coarse = contract(g, cmap, nc)
+    rng = np.random.default_rng(3)
+    coarse_side = rng.integers(0, 2, nc)
+    fine_side = coarse_side[cmap]
+    assert edge_cut(coarse, coarse_side) == edge_cut(g, fine_side)
+
+
+def test_hierarchy_monotone_and_terminates():
+    g = graph_from_matrix(fem_mesh_2d(500, seed=0))
+    levels = coarsen_hierarchy(g, min_vertices=32,
+                               rng=np.random.default_rng(0))
+    sizes = [lv.graph.nvertices for lv in levels]
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+    assert levels[-1].cmap is None
+    assert all(lv.cmap is not None for lv in levels[:-1])
+
+
+def test_hierarchy_single_level_for_small_graph():
+    g = graph_from_matrix(stencil_2d(3, seed=0))
+    levels = coarsen_hierarchy(g, min_vertices=64)
+    assert len(levels) == 1

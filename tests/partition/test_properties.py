@@ -1,0 +1,76 @@
+"""Property-based tests for the multilevel partitioners."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import column_net_hypergraph, graph_from_matrix
+from repro.hpartition import cutnet, hyper_balance, partition_hypergraph
+from repro.matrix import coo_from_arrays, csr_from_coo
+from repro.partition import edge_cut, partition_balance, partition_graph
+
+
+@st.composite
+def random_sym_matrix(draw, max_n=40, max_m=120):
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    m = draw(st.integers(min_value=n, max_value=max_m + n))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, m)
+    v = rng.integers(0, n, m)
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    return csr_from_coo(coo_from_arrays(n, n, rows, cols))
+
+
+@given(random_sym_matrix(), st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_partition_covers_and_bounds(a, k):
+    g = graph_from_matrix(a)
+    part = partition_graph(g, k, rng=np.random.default_rng(0))
+    assert part.shape == (g.nvertices,)
+    assert part.min() >= 0 and part.max() < k
+    # cut never exceeds total edge weight
+    assert 0 <= edge_cut(g, part) <= g.total_edge_weight()
+
+
+@given(random_sym_matrix(), st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_partition_balance_bounded(a, k):
+    g = graph_from_matrix(a)
+    part = partition_graph(g, k, rng=np.random.default_rng(0))
+    # balance can degrade on adversarial graphs but must stay below the
+    # one-part-holds-everything bound
+    assert partition_balance(g, part, k) <= k
+
+
+@given(random_sym_matrix(), st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_hpartition_covers_and_bounds(a, k):
+    h = column_net_hypergraph(a)
+    part = partition_hypergraph(h, k, rng=np.random.default_rng(0))
+    assert part.shape == (h.nvertices,)
+    assert part.min() >= 0 and part.max() < k
+    assert 0 <= cutnet(h, part) <= int(h.nwgt.sum())
+    assert hyper_balance(h, part, k) <= k
+
+
+@given(random_sym_matrix())
+@settings(max_examples=15, deadline=None)
+def test_single_part_has_zero_cut(a):
+    g = graph_from_matrix(a)
+    part = partition_graph(g, 1)
+    assert edge_cut(g, part) == 0
+    h = column_net_hypergraph(a)
+    hpart = partition_hypergraph(h, 1)
+    assert cutnet(h, hpart) == 0
+
+
+@given(random_sym_matrix(), st.integers(2, 6),
+       st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_partition_deterministic_given_seed(a, k, seed):
+    g = graph_from_matrix(a)
+    p1 = partition_graph(g, k, rng=np.random.default_rng(seed))
+    p2 = partition_graph(g, k, rng=np.random.default_rng(seed))
+    assert np.array_equal(p1, p2)

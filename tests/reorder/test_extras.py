@@ -1,0 +1,136 @@
+"""Tests for the extension orderings (CM, GPS, SFC, TSP, SBD)."""
+
+import numpy as np
+import pytest
+
+from repro.features import bandwidth, offdiagonal_nonzeros, profile
+from repro.generators import fem_mesh_2d, random_er, stencil_2d
+from repro.matrix import csr_from_dense
+from repro.reorder import (
+    EXTRA_ORDERINGS,
+    cm_ordering,
+    compute_ordering,
+    gps_ordering,
+    rcm_ordering,
+    sbd_ordering,
+    sfc_ordering,
+    tsp_ordering,
+)
+
+
+@pytest.fixture(scope="module")
+def scrambled_mesh():
+    return fem_mesh_2d(400, seed=9, scrambled=True)
+
+
+@pytest.mark.parametrize("name", EXTRA_ORDERINGS)
+def test_extras_are_valid_permutations(name, scrambled_mesh):
+    r = compute_ordering(scrambled_mesh, name)
+    assert sorted(r.perm.tolist()) == list(range(scrambled_mesh.nrows))
+
+
+def test_cm_is_reverse_of_rcm(scrambled_mesh):
+    cm = cm_ordering(scrambled_mesh)
+    rcm = rcm_ordering(scrambled_mesh)
+    assert np.array_equal(cm.perm[::-1], rcm.perm)
+    assert cm.algorithm == "CM"
+    assert cm.symmetric
+
+
+def test_cm_same_bandwidth_as_rcm(scrambled_mesh):
+    cm_b = cm_ordering(scrambled_mesh).apply(scrambled_mesh)
+    rcm_b = rcm_ordering(scrambled_mesh).apply(scrambled_mesh)
+    assert bandwidth(cm_b) == bandwidth(rcm_b)
+
+
+def test_gps_reduces_bandwidth(scrambled_mesh):
+    r = gps_ordering(scrambled_mesh)
+    assert bandwidth(r.apply(scrambled_mesh)) < \
+        0.5 * bandwidth(scrambled_mesh)
+
+
+def test_gps_reduces_profile(scrambled_mesh):
+    r = gps_ordering(scrambled_mesh)
+    assert profile(r.apply(scrambled_mesh)) < profile(scrambled_mesh)
+
+
+def test_gps_handles_disconnected():
+    dense = np.zeros((8, 8))
+    dense[0, 1] = dense[1, 0] = 1.0
+    dense[4, 5] = dense[5, 4] = 1.0
+    r = gps_ordering(csr_from_dense(dense))
+    assert sorted(r.perm.tolist()) == list(range(8))
+
+
+def test_sfc_improves_locality_on_mesh(scrambled_mesh):
+    r = sfc_ordering(scrambled_mesh)
+    b = r.apply(scrambled_mesh)
+    assert offdiagonal_nonzeros(b, 16) < \
+        offdiagonal_nonzeros(scrambled_mesh, 16)
+
+
+def test_sfc_morton_interleave():
+    from repro.reorder.sfc import morton_interleave
+
+    # (x=1, y=0) -> key 1; (0, 1) -> 2; (1, 1) -> 3; (2, 0) -> 4
+    keys = morton_interleave(np.array([1, 0, 1, 2]),
+                             np.array([0, 1, 1, 0]))
+    assert keys.tolist() == [1, 2, 3, 4]
+
+
+def test_tsp_is_row_only(scrambled_mesh):
+    r = tsp_ordering(scrambled_mesh, seed=0)
+    assert not r.symmetric
+
+
+def test_tsp_improves_consecutive_row_sharing():
+    a = stencil_2d(14, seed=1, scrambled=True)
+    r = tsp_ordering(a, seed=0)
+
+    def tour_sharing(m, order):
+        total = 0
+        for i in range(len(order) - 1):
+            ci, _ = m.row_slice(int(order[i]))
+            cj, _ = m.row_slice(int(order[i + 1]))
+            total += np.intersect1d(ci, cj).size
+        return total
+
+    identity = np.arange(a.nrows)
+    assert tour_sharing(a, r.perm) > tour_sharing(a, identity)
+
+
+def test_sbd_valid_two_sided(scrambled_mesh):
+    r = sbd_ordering(scrambled_mesh, seed=0)
+    assert sorted(r.row_perm.tolist()) == list(range(scrambled_mesh.nrows))
+    assert sorted(r.col_perm.tolist()) == list(range(scrambled_mesh.ncols))
+    b = r.apply(scrambled_mesh)
+    assert b.nnz == scrambled_mesh.nnz
+
+
+def test_sbd_improves_block_locality(scrambled_mesh):
+    r = sbd_ordering(scrambled_mesh, seed=0)
+    b = r.apply(scrambled_mesh)
+    assert offdiagonal_nonzeros(b, 8) < \
+        offdiagonal_nonzeros(scrambled_mesh, 8)
+
+
+def test_sbd_preserves_values(scrambled_mesh):
+    r = sbd_ordering(scrambled_mesh, seed=0)
+    b = r.apply(scrambled_mesh)
+    assert np.allclose(np.sort(b.values),
+                       np.sort(scrambled_mesh.values))
+
+
+def test_sbd_rejects_empty():
+    from repro.errors import ReorderingError
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    with pytest.raises(ReorderingError):
+        sbd_ordering(csr_from_coo(coo_from_arrays(0, 0, [], [])))
+
+
+def test_extras_on_random_graph():
+    a = random_er(150, 6.0, seed=2)
+    for name in EXTRA_ORDERINGS:
+        r = compute_ordering(a, name)
+        assert r.n == 150, name

@@ -1,0 +1,78 @@
+"""Property-based tests: every ordering is a valid permutation on
+arbitrary random matrices, and structural invariants hold."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import bandwidth, profile
+from repro.matrix import coo_from_arrays, csr_from_coo
+from repro.reorder import compute_ordering
+from repro.reorder.gray import gray_rank
+
+
+@st.composite
+def random_square_csr(draw, max_n=40, max_nnz=160):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    nnz = draw(st.integers(min_value=1, max_value=max_nnz))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    return csr_from_coo(coo_from_arrays(n, n, rows, cols, vals))
+
+
+@given(random_square_csr(),
+       st.sampled_from(["RCM", "AMD", "ND", "GP", "HP", "Gray"]))
+@settings(max_examples=40, deadline=None)
+def test_ordering_is_permutation(a, name):
+    r = compute_ordering(a, name, nparts=4)
+    assert sorted(r.perm.tolist()) == list(range(a.nrows))
+
+
+@given(random_square_csr())
+@settings(max_examples=25, deadline=None)
+def test_symmetric_ordering_preserves_nnz_and_values(a):
+    r = compute_ordering(a, "RCM")
+    b = r.apply(a)
+    assert b.nnz == a.nnz
+    assert np.allclose(np.sort(b.values), np.sort(a.values))
+
+
+@given(random_square_csr())
+@settings(max_examples=25, deadline=None)
+def test_gray_preserves_row_multiset(a):
+    r = compute_ordering(a, "Gray")
+    b = r.apply(a)
+    assert sorted(b.row_lengths().tolist()) == \
+        sorted(a.row_lengths().tolist())
+
+
+@given(random_square_csr())
+@settings(max_examples=20, deadline=None)
+def test_spmv_invariant_under_symmetric_reordering(a):
+    """PAPᵀ (Px) = P(Ax): reordering must not change SpMV semantics."""
+    r = compute_ordering(a, "RCM")
+    b = r.apply(a)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(a.ncols)
+    y_direct = a.matvec(x)
+    y_permuted = b.matvec(x[r.perm])
+    assert np.allclose(y_permuted, y_direct[r.perm])
+
+
+@given(st.integers(1, 1 << 16 - 1))
+@settings(max_examples=60, deadline=None)
+def test_gray_rank_roundtrip(i):
+    gray = i ^ (i >> 1)
+    assert int(gray_rank(np.array([gray]), bits=16)[0]) == i
+
+
+@given(random_square_csr())
+@settings(max_examples=20, deadline=None)
+def test_features_nonnegative_under_any_ordering(a):
+    for name in ("RCM", "Gray"):
+        b = compute_ordering(a, name).apply(a)
+        assert bandwidth(b) >= 0
+        assert profile(b) >= 0

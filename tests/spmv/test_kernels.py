@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.generators import circuit_matrix, rmat_graph, stencil_2d
+from repro.spmv import schedule_1d, schedule_2d, spmv, spmv_1d, spmv_2d
+
+from ..conftest import random_csr
+
+
+@pytest.mark.parametrize("nthreads", [1, 3, 8, 32])
+@pytest.mark.parametrize("kind", ["1d", "2d"])
+def test_kernels_match_scipy(rng, nthreads, kind):
+    a = random_csr(60, 400, rng)
+    x = rng.standard_normal(60)
+    y = spmv(a, x, kind=kind, nthreads=nthreads)
+    assert np.allclose(y, a.to_scipy() @ x)
+
+
+def test_kernels_match_each_other(rng):
+    a = random_csr(80, 600, rng)
+    x = rng.standard_normal(80)
+    y1 = spmv(a, x, kind="1d", nthreads=7)
+    y2 = spmv(a, x, kind="2d", nthreads=7)
+    assert np.allclose(y1, y2)
+
+
+def test_2d_partial_rows_exact():
+    # craft a matrix where one dense row straddles many 2D boundaries
+    a = circuit_matrix(300, rail_rows=1, rail_fanout=0.5, seed=0,
+                       scrambled=False)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(a.ncols)
+    for nthreads in (2, 5, 16, 64):
+        y = spmv_2d(a, x, schedule_2d(a, nthreads))
+        assert np.allclose(y, a.to_scipy() @ x), nthreads
+
+
+def test_empty_rows_handled(rng):
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    a = csr_from_coo(coo_from_arrays(10, 10, [0, 9], [3, 4], [1.0, 2.0]))
+    x = np.ones(10)
+    for kind in ("1d", "2d"):
+        y = spmv(a, x, kind=kind, nthreads=4)
+        assert y[0] == 1.0 and y[9] == 2.0
+        assert np.all(y[1:9] == 0)
+
+
+def test_kernel_kind_mismatch(rng):
+    a = random_csr(10, 30, rng)
+    x = np.zeros(10)
+    with pytest.raises(ScheduleError):
+        spmv_1d(a, x, schedule_2d(a, 2))
+    with pytest.raises(ScheduleError):
+        spmv_2d(a, x, schedule_1d(a, 2))
+
+
+def test_bad_x_shape(rng):
+    a = random_csr(10, 30, rng)
+    with pytest.raises(ScheduleError):
+        spmv(a, np.zeros(11), kind="1d", nthreads=2)
+
+
+def test_unknown_kind(rng):
+    a = random_csr(10, 30, rng)
+    with pytest.raises(ScheduleError):
+        spmv(a, np.zeros(10), kind="3d")
+
+
+def test_rectangular_matrix(rng):
+    a = random_csr(20, 100, rng, ncols=35)
+    x = rng.standard_normal(35)
+    y = spmv(a, x, kind="2d", nthreads=4)
+    assert np.allclose(y, a.to_scipy() @ x)
+
+
+def test_kernels_on_generated_families(rng):
+    for a in (stencil_2d(8, seed=1), rmat_graph(6, seed=1)):
+        x = rng.standard_normal(a.ncols)
+        assert np.allclose(spmv(a, x, "1d", 5), a.to_scipy() @ x)
+        assert np.allclose(spmv(a, x, "2d", 5), a.to_scipy() @ x)

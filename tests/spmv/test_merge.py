@@ -1,0 +1,87 @@
+"""Tests for the merge-based schedule and kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.features import imbalance_factor
+from repro.generators import circuit_matrix, kmer_graph, stencil_2d
+from repro.spmv import schedule_1d, schedule_2d, schedule_merge, spmv, spmv_2d
+
+from ..conftest import random_csr
+
+
+@pytest.mark.parametrize("nthreads", [1, 3, 8, 32])
+def test_merge_kernel_matches_scipy(rng, nthreads):
+    a = random_csr(60, 400, rng)
+    x = rng.standard_normal(60)
+    y = spmv(a, x, kind="merge", nthreads=nthreads)
+    assert np.allclose(y, a.to_scipy() @ x)
+
+
+def test_merge_schedule_covers_everything(rng):
+    a = random_csr(50, 250, rng)
+    s = schedule_merge(a, 7)
+    assert s.entry_start[0] == 0
+    assert s.entry_start[-1] == a.nnz
+    assert s.row_start[-1] == a.nrows
+    assert int(s.nnz_per_thread().sum()) == a.nnz
+
+
+def test_merge_balances_path_not_just_nnz():
+    # a matrix with many empty rows: 2D gives one thread all the row
+    # overhead; merge splits rows + nnz jointly
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    n = 1000
+    # 10 dense-ish rows at the start, 990 empty rows
+    rows = np.repeat(np.arange(10), 50)
+    cols = np.tile(np.arange(50), 10)
+    a = csr_from_coo(coo_from_arrays(n, n, rows, cols))
+    sm = schedule_merge(a, 4)
+    s2 = schedule_2d(a, 4)
+    rows_merge = np.diff(sm.row_start)
+    rows_2d = np.diff(s2.row_start)
+    # merge spreads the empty-row overhead; 2D dumps it on one thread
+    assert rows_merge.max() < rows_2d.max()
+
+
+def test_merge_nnz_balance_on_skewed_matrix():
+    a = circuit_matrix(800, rail_rows=3, rail_fanout=0.3, seed=0,
+                       scrambled=False)
+    s = schedule_merge(a, 16)
+    assert imbalance_factor(s) < 1.3
+
+
+def test_merge_path_boundaries_consistent(rng):
+    a = random_csr(40, 200, rng)
+    s = schedule_merge(a, 5)
+    for t in range(5):
+        # diagonal identity: rows consumed + entries consumed = d
+        d = (t * (a.nrows + a.nnz)) // 5
+        assert int(s.row_start[t] + s.entry_start[t]) == d
+
+
+def test_merge_kernel_accepts_only_partial_row_schedules(rng):
+    a = random_csr(10, 40, rng)
+    x = np.zeros(10)
+    with pytest.raises(ScheduleError):
+        spmv_2d(a, x, schedule_1d(a, 2))
+    # merge schedules run through the 2D kernel
+    y = spmv_2d(a, x, schedule_merge(a, 2))
+    assert y.shape == (10,)
+
+
+def test_merge_on_low_degree_graph(rng):
+    a = kmer_graph(400, seed=1)
+    x = rng.standard_normal(a.ncols)
+    assert np.allclose(spmv(a, x, "merge", 16), a.to_scipy() @ x)
+
+
+def test_merge_with_model():
+    from repro.machine import PerfModel, get_architecture
+
+    arch = get_architecture("Rome")
+    a = stencil_2d(30, seed=0)
+    pred = PerfModel(arch).predict(a, schedule_merge(a, arch.threads))
+    assert pred.seconds > 0

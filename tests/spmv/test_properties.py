@@ -1,0 +1,61 @@
+"""Property-based tests for schedules and kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix import coo_from_arrays, csr_from_coo
+from repro.spmv import schedule_1d, schedule_2d, spmv
+
+
+@st.composite
+def csr_and_threads(draw, max_n=50, max_nnz=250):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    nthreads = draw(st.integers(min_value=1, max_value=32))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    return csr_from_coo(coo_from_arrays(n, n, rows, cols, vals)), nthreads
+
+
+@given(csr_and_threads())
+@settings(max_examples=50, deadline=None)
+def test_schedules_cover_every_entry_exactly_once(data):
+    a, nthreads = data
+    for builder in (schedule_1d, schedule_2d):
+        s = builder(a, nthreads)
+        assert s.entry_start[0] == 0
+        assert s.entry_start[-1] == a.nnz
+        assert int(s.nnz_per_thread().sum()) == a.nnz
+
+
+@given(csr_and_threads())
+@settings(max_examples=50, deadline=None)
+def test_2d_schedule_balanced(data):
+    a, nthreads = data
+    s = schedule_2d(a, nthreads)
+    per = s.nnz_per_thread()
+    assert per.max() - per.min() <= 1
+
+
+@given(csr_and_threads())
+@settings(max_examples=40, deadline=None)
+def test_kernels_agree_with_reference(data):
+    a, nthreads = data
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(a.ncols)
+    expected = a.matvec(x)
+    assert np.allclose(spmv(a, x, "1d", nthreads), expected)
+    assert np.allclose(spmv(a, x, "2d", nthreads), expected)
+
+
+@given(csr_and_threads())
+@settings(max_examples=30, deadline=None)
+def test_1d_boundaries_align_with_rows(data):
+    a, nthreads = data
+    s = schedule_1d(a, nthreads)
+    # every 1D entry boundary is a row boundary
+    assert np.all(np.isin(s.entry_start, a.rowptr))
