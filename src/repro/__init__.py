@@ -15,6 +15,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.cholesky` — symbolic fill analysis
 * :mod:`repro.analysis` — geomeans, boxplots, performance profiles
 * :mod:`repro.harness` — experiment drivers for every table and figure
+* :mod:`repro.advisor` — feature-driven reordering selection service
 """
 
 __version__ = "1.0.0"
@@ -24,6 +25,7 @@ from .reorder import ALL_ORDERINGS, compute_ordering
 from .machine import TABLE2, PerfModel, get_architecture
 from .spmv import spmv, schedule_1d, schedule_2d
 from .generators import build_corpus, named_matrix
+from .advisor import Advisor, AdvisorModel, train_advisor
 
 __all__ = [
     "__version__",
@@ -40,4 +42,7 @@ __all__ = [
     "schedule_2d",
     "build_corpus",
     "named_matrix",
+    "Advisor",
+    "AdvisorModel",
+    "train_advisor",
 ]

@@ -1,0 +1,83 @@
+"""Table 5 break-even logic: is a reordering worth its own cost?
+
+The paper's §4.7 amortization argument: reordering pays off only after
+enough SpMV iterations that the per-iteration saving covers the
+one-time reordering cost.  The advisor learns two linear-in-nnz cost
+surrogates from its training rows — seconds of reordering per nonzero
+(per algorithm) and baseline SpMV seconds per nonzero — and uses
+:func:`repro.harness.experiments.amortization_iterations` to decide
+whether a predicted gain clears the caller's iteration budget.  When it
+does not, the "none: keep natural order" class wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AdvisorError
+from ..harness.experiments import amortization_iterations
+
+
+@dataclass(frozen=True)
+class ReorderingCostModel:
+    """Linear-in-nnz reordering and SpMV cost surrogates."""
+
+    seconds_per_nnz: dict = field(default_factory=dict)  # ordering -> s/nnz
+    spmv_seconds_per_nnz: float = 0.0
+
+    @classmethod
+    def from_rows(cls, rows: list) -> "ReorderingCostModel":
+        """Average the per-nnz costs observed across dataset rows."""
+        if not rows:
+            raise AdvisorError("cost model needs at least one dataset row")
+        sums: dict = {}
+        counts: dict = {}
+        spmv_sum = 0.0
+        spmv_n = 0
+        for r in rows:
+            nnz = max(r.nnz, 1)
+            for o, sec in r.reorder_seconds.items():
+                sums[o] = sums.get(o, 0.0) + sec / nnz
+                counts[o] = counts.get(o, 0) + 1
+            if r.spmv_seconds > 0:
+                spmv_sum += r.spmv_seconds / nnz
+                spmv_n += 1
+        return cls(
+            seconds_per_nnz={o: sums[o] / counts[o] for o in sums},
+            spmv_seconds_per_nnz=spmv_sum / spmv_n if spmv_n else 0.0,
+        )
+
+    def reorder_seconds(self, ordering: str, nnz: int) -> float:
+        """Estimated wall-clock cost of computing ``ordering``."""
+        return self.seconds_per_nnz.get(ordering, 0.0) * max(nnz, 0)
+
+    def break_even_iterations(self, ordering: str, nnz: int,
+                              speedup: float) -> float:
+        """SpMV iterations before ``ordering`` amortizes (inf if never)."""
+        if ordering == "original":
+            return 0.0
+        spmv_before = self.spmv_seconds_per_nnz * max(nnz, 0)
+        if spmv_before <= 0.0:
+            return float("inf") if speedup <= 1.0 else 0.0
+        return amortization_iterations(
+            self.reorder_seconds(ordering, nnz), spmv_before, speedup)
+
+    def worth_reordering(self, ordering: str, nnz: int, speedup: float,
+                         iterations: float) -> bool:
+        """True when the predicted gain clears the iteration budget."""
+        return self.break_even_iterations(ordering, nnz,
+                                          speedup) <= iterations
+
+    def to_json(self) -> dict:
+        return {
+            "seconds_per_nnz": dict(self.seconds_per_nnz),
+            "spmv_seconds_per_nnz": self.spmv_seconds_per_nnz,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ReorderingCostModel":
+        return cls(
+            seconds_per_nnz={str(k): float(v) for k, v in
+                             data["seconds_per_nnz"].items()},
+            spmv_seconds_per_nnz=float(data["spmv_seconds_per_nnz"]),
+        )

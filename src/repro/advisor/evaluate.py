@@ -1,0 +1,100 @@
+"""Held-out evaluation: how close does the advisor get to the oracle?
+
+For every (test matrix, architecture, kernel) cell the advisor picks a
+top ordering from features alone; the sweep provides the measured
+speedup of that pick.  Three baselines anchor the numbers:
+
+* **oracle** — the measured-best ordering per cell (upper bound),
+* **always-RCM** — the paper's strongest single default,
+* **natural** — never reorder (speedup 1.0 by definition).
+
+Use :func:`repro.generators.split_corpus` to keep the training and test
+matrices disjoint (stratified by structural family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.stats import geomean
+from ..errors import AdvisorError
+from .dataset import build_dataset
+from .service import Advisor
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Aggregate advisor quality over a held-out corpus split."""
+
+    cases: int
+    top1_accuracy: float       # pick == measured best (strict label match)
+    within_5pct: float         # pick's speedup ≥ 95% of the oracle's
+    geomean_advisor: float
+    geomean_oracle: float
+    geomean_rcm: float
+    geomean_natural: float = 1.0
+    picks: dict = field(default_factory=dict)   # ordering -> times picked
+
+    @property
+    def fraction_of_oracle(self) -> float:
+        """Advisor geomean speedup relative to the oracle's."""
+        return self.geomean_advisor / self.geomean_oracle
+
+    @property
+    def beats_rcm(self) -> bool:
+        return self.geomean_advisor >= self.geomean_rcm
+
+    def rows(self) -> list:
+        """Table rows: policy, geomean speedup, fraction of oracle."""
+        return [
+            ["oracle-best", self.geomean_oracle, 1.0],
+            ["advisor", self.geomean_advisor, self.fraction_of_oracle],
+            ["always-RCM", self.geomean_rcm,
+             self.geomean_rcm / self.geomean_oracle],
+            ["natural order", self.geomean_natural,
+             self.geomean_natural / self.geomean_oracle],
+        ]
+
+
+def evaluate_advisor(advisor: Advisor, corpus: list, architectures: list,
+                     orderings=None, kernels: tuple = ("1d", "2d"),
+                     cache=None, sweep=None, seed=0,
+                     iterations: float | None = None) -> EvaluationReport:
+    """Score ``advisor`` against the measured sweep of ``corpus``.
+
+    ``sweep``/``cache`` are forwarded to
+    :func:`repro.advisor.dataset.build_dataset`, which supplies the
+    ground-truth speedups; the advisor itself sees only features.
+    """
+    rows = build_dataset(corpus, architectures, orderings=orderings,
+                         kernels=kernels, cache=cache, sweep=sweep,
+                         seed=seed)
+    if not rows:
+        raise AdvisorError("evaluation corpus produced no dataset rows")
+    budget = advisor.iterations if iterations is None else iterations
+    hits = 0
+    close = 0
+    picked = []
+    oracle = []
+    rcm = []
+    picks: dict = {}
+    for row in rows:
+        ranked = advisor.model.predict_ranked(row.features, nnz=row.nnz,
+                                              iterations=budget)
+        pick = ranked[0].ordering
+        picks[pick] = picks.get(pick, 0) + 1
+        sp = row.speedups.get(pick, 1.0)
+        picked.append(sp)
+        oracle.append(row.best_speedup)
+        rcm.append(row.speedups.get("RCM", 1.0))
+        hits += pick == row.best
+        close += sp >= 0.95 * row.best_speedup
+    return EvaluationReport(
+        cases=len(rows),
+        top1_accuracy=hits / len(rows),
+        within_5pct=close / len(rows),
+        geomean_advisor=geomean(picked),
+        geomean_oracle=geomean(oracle),
+        geomean_rcm=geomean(rcm),
+        picks=picks,
+    )

@@ -1,0 +1,96 @@
+"""Feature assembly for the advisor: matrix × architecture × kernel.
+
+The advisor predicts from one flat vector combining three ingredients:
+
+* the size-independent structural features of :mod:`repro.analysis.predict`
+  (relative bandwidth, off-diagonal fraction, imbalance, density, row
+  CV) plus scale and profile terms from :mod:`repro.features`,
+* descriptors of the target machine (core count, per-core bandwidth,
+  per-thread cache, clock, socket count) from :mod:`repro.machine.arch`,
+* a kernel indicator (1D row-split vs 2D nonzero-split).
+
+Matrix features depend on the architecture only through its thread
+count, so :class:`repro.advisor.service.Advisor` caches them per
+``(matrix, nthreads)`` and re-assembles the full vector per request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.predict import extract_features
+from ..errors import AdvisorError
+from ..features import profile
+from ..machine.arch import Architecture
+from ..matrix.csr import CSRMatrix
+
+MATRIX_FEATURE_NAMES = (
+    "log_nrows",
+    "log_nnz",
+    "rel_bandwidth",
+    "rel_profile",
+    "rel_offdiag",
+    "imbalance_1d",
+    "density",
+    "row_cv",
+)
+
+ARCH_FEATURE_NAMES = (
+    "log2_cores",
+    "log2_bw_per_core",
+    "log2_cache_per_thread",
+    "freq_ghz",
+    "sockets",
+)
+
+KERNEL_FEATURE_NAMES = ("kernel_2d",)
+
+#: full layout of the advisor feature vector, in order
+FEATURE_NAMES = MATRIX_FEATURE_NAMES + ARCH_FEATURE_NAMES \
+    + KERNEL_FEATURE_NAMES
+
+KERNELS = ("1d", "2d")
+
+
+def matrix_features(a: CSRMatrix, nthreads: int) -> np.ndarray:
+    """The architecture-independent part (depends only on ``nthreads``)."""
+    f = extract_features(a, nthreads)
+    rel_profile = profile(a) / max(a.nrows * max(a.ncols, 1), 1)
+    return np.array([
+        np.log1p(a.nrows),
+        np.log1p(a.nnz),
+        f.rel_bandwidth,
+        rel_profile,
+        f.rel_offdiag,
+        f.imbalance_1d,
+        f.density / 64.0,
+        f.row_cv,
+    ])
+
+
+def arch_features(arch: Architecture) -> np.ndarray:
+    """Machine descriptors in roughly comparable (log) scales."""
+    return np.array([
+        np.log2(arch.cores),
+        np.log2(arch.bandwidth / arch.cores / 1e9),
+        np.log2(arch.per_thread_cache() / 1024.0),
+        arch.freq_ghz,
+        float(arch.sockets),
+    ])
+
+
+def kernel_features(kernel: str) -> np.ndarray:
+    if kernel not in KERNELS:
+        raise AdvisorError(
+            f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return np.array([1.0 if kernel == "2d" else 0.0])
+
+
+def assemble(mf: np.ndarray, arch: Architecture, kernel: str) -> np.ndarray:
+    """Combine precomputed matrix features with arch/kernel terms."""
+    return np.concatenate([mf, arch_features(arch), kernel_features(kernel)])
+
+
+def featurize(a: CSRMatrix, arch: Architecture, kernel: str) -> np.ndarray:
+    """The full advisor feature vector for one request."""
+    return assemble(matrix_features(a, arch.threads), arch, kernel)

@@ -1,0 +1,252 @@
+"""The advisor's learner: a pure-NumPy instance-based speedup model.
+
+Training stores every dataset row in z-normalised feature space along
+with its per-ordering log-speedups.  Prediction finds the ``k`` nearest
+training rows and returns, per candidate ordering, the distance-weighted
+mean log-speedup — i.e. a k-NN *regression* over speedups rather than a
+bare classification, so the ranked list degrades gracefully: when the
+advisor cannot identify the single best ordering it still lands on one
+whose measured speedup is close.  Per-label centroids and a majority
+class provide the far-from-training fallback, and the Table 5 cost
+model (:mod:`repro.advisor.costmodel`) demotes any ordering whose
+predicted gain does not amortize within the caller's iteration budget
+below the "keep natural order" entry.
+
+Models serialize to plain JSON (:meth:`AdvisorModel.to_json` /
+:meth:`from_json`, or :meth:`save` / :meth:`load`), so trained models
+are versioned artifacts that round-trip bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AdvisorError
+from .costmodel import ReorderingCostModel
+from .featurize import FEATURE_NAMES
+
+#: bump when the serialized layout changes incompatibly
+MODEL_VERSION = 1
+
+#: query further than this multiple of the training radius falls back
+#: to the global (majority/mean) prediction
+FALLBACK_RADIUS_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One entry of a ranked recommendation list."""
+
+    ordering: str
+    predicted_speedup: float
+    confidence: float          # neighbour vote share in [0, 1]
+
+    def row(self) -> list:
+        return [self.ordering, self.predicted_speedup, self.confidence]
+
+
+class AdvisorModel:
+    """k-NN speedup regressor with centroid fallback and cost gating."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise AdvisorError(f"k must be positive, got {k}")
+        self.k = k
+        self.feature_names: tuple = tuple(FEATURE_NAMES)
+        self.orderings: tuple = ()
+        self.costs = ReorderingCostModel()
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._z: np.ndarray | None = None          # (n, d) training rows
+        self._logsp: np.ndarray | None = None      # (n, m) log speedups
+        self._labels: list = []                    # best ordering per row
+        self._centroids: dict = {}
+        self._majority: str = "original"
+        self._global_logsp: np.ndarray | None = None
+        self._fallback_radius: float = float("inf")
+        self.trained_on: dict = {}
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self._z is not None and len(self._z) > 0
+
+    def fit(self, rows: list) -> "AdvisorModel":
+        """Train on :class:`repro.advisor.dataset.DatasetRow` examples."""
+        if not rows:
+            raise AdvisorError("fit() needs a non-empty dataset")
+        x = np.array([np.asarray(r.features, dtype=np.float64)
+                      for r in rows])
+        if x.ndim != 2 or x.shape[1] != len(self.feature_names):
+            raise AdvisorError(
+                f"dataset features have shape {x.shape}, expected "
+                f"(n, {len(self.feature_names)})")
+        if not np.all(np.isfinite(x)):
+            raise AdvisorError("dataset features contain non-finite values")
+        names = set()
+        for r in rows:
+            names.update(r.speedups)
+        self.orderings = tuple(sorted(names))
+        if "original" not in self.orderings:
+            raise AdvisorError(
+                'dataset rows must include the "original" baseline')
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        self._std = np.where(std > 0, std, 1.0)
+        self._z = (x - self._mean) / self._std
+        # missing (ordering, row) pairs fall back to "no change"
+        self._logsp = np.array(
+            [[np.log(max(r.speedups.get(o, 1.0), 1e-12))
+              for o in self.orderings] for r in rows])
+        self._labels = [r.best for r in rows]
+        counts = Counter(self._labels)
+        self._majority = min(counts, key=lambda o: (-counts[o], o))
+        self._centroids = {
+            o: self._z[[i for i, l in enumerate(self._labels)
+                        if l == o]].mean(axis=0)
+            for o in counts}
+        self._global_logsp = self._logsp.mean(axis=0)
+        radii = np.linalg.norm(self._z, axis=1)
+        self._fallback_radius = FALLBACK_RADIUS_FACTOR * float(radii.max())
+        self.costs = ReorderingCostModel.from_rows(rows)
+        self.trained_on = {
+            "rows": len(rows),
+            "groups": sorted({r.group for r in rows}),
+            "architectures": sorted({r.architecture for r in rows}),
+            "kernels": sorted({r.kernel for r in rows}),
+        }
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict_ranked(self, features: np.ndarray, nnz: int | None = None,
+                       iterations: float | None = None) -> list:
+        """Ranked :class:`Advice` list, best first.
+
+        ``iterations`` (together with ``nnz``) enables the Table 5
+        break-even gate: orderings whose predicted gain does not
+        amortize within that many SpMV iterations rank below
+        ``"original"``.
+        """
+        if not self.is_trained:
+            raise AdvisorError("model is not trained; call fit() first")
+        x = np.asarray(features, dtype=np.float64)
+        if x.shape != (len(self.feature_names),):
+            raise AdvisorError(
+                f"feature vector has shape {x.shape}, expected "
+                f"({len(self.feature_names)},)")
+        z = (x - self._mean) / self._std
+        if float(np.linalg.norm(z)) > self._fallback_radius:
+            ranked = self._fallback_ranked()
+        else:
+            ranked = self._knn_ranked(z)
+        if iterations is not None and nnz is not None:
+            ranked = self._apply_break_even(ranked, nnz, iterations)
+        return ranked
+
+    def _knn_ranked(self, z: np.ndarray) -> list:
+        dists = np.linalg.norm(self._z - z, axis=1)
+        idx = np.argsort(dists, kind="stable")[:min(self.k, len(dists))]
+        w = 1.0 / (dists[idx] + 1e-9)
+        w = w / w.sum()
+        pred = w @ self._logsp[idx]
+        votes = {o: 0.0 for o in self.orderings}
+        for weight, i in zip(w, idx):
+            votes[self._labels[i]] += float(weight)
+        return self._ranked(pred, votes)
+
+    def _fallback_ranked(self) -> list:
+        """Far outside the training distribution: global averages, with
+        the majority label carrying what little confidence remains."""
+        votes = {o: 0.0 for o in self.orderings}
+        return self._ranked(self._global_logsp, votes)
+
+    def _ranked(self, logsp: np.ndarray, votes: dict) -> list:
+        items = [Advice(ordering=o,
+                        predicted_speedup=float(np.exp(logsp[j])),
+                        confidence=float(votes.get(o, 0.0)))
+                 for j, o in enumerate(self.orderings)]
+        items.sort(key=lambda a: (-a.predicted_speedup, a.ordering))
+        return items
+
+    def _apply_break_even(self, ranked: list, nnz: int,
+                          iterations: float) -> list:
+        keep = [a for a in ranked if self.costs.worth_reordering(
+            a.ordering, nnz, a.predicted_speedup, iterations)]
+        demoted = [a for a in ranked if a not in keep]
+        return keep + demoted
+
+    def predict(self, features: np.ndarray, nnz: int | None = None,
+                iterations: float | None = None) -> str:
+        """Just the top ordering name."""
+        return self.predict_ranked(features, nnz=nnz,
+                                   iterations=iterations)[0].ordering
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        if not self.is_trained:
+            raise AdvisorError("cannot serialize an untrained model")
+        return {
+            "version": MODEL_VERSION,
+            "k": self.k,
+            "feature_names": list(self.feature_names),
+            "orderings": list(self.orderings),
+            "mean": self._mean.tolist(),
+            "std": self._std.tolist(),
+            "z": self._z.tolist(),
+            "log_speedups": self._logsp.tolist(),
+            "labels": list(self._labels),
+            "majority": self._majority,
+            "fallback_radius": self._fallback_radius,
+            "costs": self.costs.to_json(),
+            "trained_on": self.trained_on,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AdvisorModel":
+        version = data.get("version")
+        if version != MODEL_VERSION:
+            raise AdvisorError(
+                f"model artifact version {version!r} is not supported "
+                f"(expected {MODEL_VERSION})")
+        model = cls(k=int(data["k"]))
+        model.feature_names = tuple(data["feature_names"])
+        if model.feature_names != tuple(FEATURE_NAMES):
+            raise AdvisorError(
+                "model artifact was trained with a different feature "
+                f"layout: {model.feature_names}")
+        model.orderings = tuple(data["orderings"])
+        model._mean = np.array(data["mean"], dtype=np.float64)
+        model._std = np.array(data["std"], dtype=np.float64)
+        model._z = np.array(data["z"], dtype=np.float64)
+        model._logsp = np.array(data["log_speedups"], dtype=np.float64)
+        model._labels = [str(l) for l in data["labels"]]
+        model._majority = str(data["majority"])
+        model._global_logsp = model._logsp.mean(axis=0)
+        model._centroids = {}
+        for o in set(model._labels):
+            rows = [i for i, l in enumerate(model._labels) if l == o]
+            model._centroids[o] = model._z[rows].mean(axis=0)
+        model._fallback_radius = float(data["fallback_radius"])
+        model.costs = ReorderingCostModel.from_json(data["costs"])
+        model.trained_on = dict(data["trained_on"])
+        return model
+
+    def save(self, path) -> None:
+        """Write the model artifact as JSON."""
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_json(), f, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path) -> "AdvisorModel":
+        with open(path, encoding="utf-8") as f:
+            return cls.from_json(json.load(f))

@@ -1,0 +1,112 @@
+"""The serving API: "which ordering should I use for THIS matrix?".
+
+:class:`Advisor` wraps a trained :class:`repro.advisor.model.AdvisorModel`
+behind two LRU caches so repeated questions cost a dict lookup:
+
+* a **feature cache** keyed by ``(matrix identity, thread count)`` —
+  feature extraction scans the whole matrix and is the expensive part
+  of a request;
+* an **advice cache** keyed like
+  :class:`repro.harness.runner.OrderingCache` keys permutations
+  (name, shape, nnz) plus architecture, kernel and iteration budget.
+
+``advise`` answers one request with a ranked list of
+:class:`repro.advisor.model.Advice`; ``advise_many`` fans feature
+extraction for a batch of matrices out over a thread pool (NumPy
+releases the GIL in the hot reductions).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import AdvisorError
+from ..machine.arch import Architecture
+from ..matrix.csr import CSRMatrix
+from .cache import LRUCache
+from .featurize import assemble, matrix_features
+from .model import AdvisorModel
+
+
+class Advisor:
+    """Feature-driven reordering selection with request caching."""
+
+    def __init__(self, model: AdvisorModel, iterations: float | None = None,
+                 cache_size: int = 256) -> None:
+        if not model.is_trained:
+            raise AdvisorError("Advisor needs a trained model")
+        self.model = model
+        #: default SpMV iteration budget for the break-even gate
+        #: (None disables cost gating unless a request overrides it)
+        self.iterations = iterations
+        self._features = LRUCache(cache_size)
+        self._advice = LRUCache(cache_size)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matrix_key(a: CSRMatrix, matrix_name: str) -> str:
+        # mirrors OrderingCache._key: name alone is not trusted, shape
+        # and nnz guard against same-named matrices at different scales
+        return f"{matrix_name}__{a.nrows}x{a.ncols}_{a.nnz}"
+
+    def advise(self, a: CSRMatrix, arch: Architecture, kernel: str = "1d",
+               matrix_name: str = "", iterations: float | None = None,
+               top: int | None = None) -> list:
+        """Ranked orderings (best first) for one matrix on one machine.
+
+        Returns a list of :class:`Advice`; ``top`` truncates it.
+        ``iterations`` overrides the advisor-level break-even budget
+        for this request.
+        """
+        budget = self.iterations if iterations is None else iterations
+        mkey = self._matrix_key(a, matrix_name)
+        akey = f"{mkey}__{arch.name}__{kernel}__{budget}"
+        cached = self._advice.get(akey)
+        if cached is None:
+            mf = self._features.get_or_compute(
+                f"{mkey}__t{arch.threads}",
+                lambda: matrix_features(a, arch.threads))
+            cached = self.model.predict_ranked(
+                assemble(mf, arch, kernel), nnz=a.nnz, iterations=budget)
+            self._advice.put(akey, cached)
+        return cached[:top] if top is not None else list(cached)
+
+    def advise_many(self, matrices: list, arch: Architecture,
+                    kernel: str = "1d", names: list | None = None,
+                    iterations: float | None = None,
+                    max_workers: int | None = None) -> list:
+        """Batch interface: one ranked list per input matrix.
+
+        ``matrices`` holds :class:`CSRMatrix` instances (or corpus
+        entries exposing ``.matrix``/``.name``); ``names`` optionally
+        labels bare matrices for cache keying.  Feature extraction for
+        distinct matrices runs in parallel.
+        """
+        mats = []
+        labels = []
+        for i, m in enumerate(matrices):
+            if hasattr(m, "matrix"):
+                mats.append(m.matrix)
+                labels.append(m.name)
+            else:
+                mats.append(m)
+                labels.append(names[i] if names else "")
+        if not mats:
+            return []
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(
+                lambda im: self.advise(mats[im], arch, kernel,
+                                       matrix_name=labels[im],
+                                       iterations=iterations),
+                range(len(mats))))
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Hit/miss counters of both serving caches."""
+        return {"features": self._features.stats,
+                "advice": self._advice.stats}
+
+    def clear_caches(self) -> None:
+        self._features.clear()
+        self._advice.clear()

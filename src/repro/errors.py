@@ -59,3 +59,9 @@ class GeneratorError(ReproError):
 class HarnessError(ReproError):
     """The experiment harness was misconfigured (unknown experiment id,
     empty corpus, missing ordering results, ...)."""
+
+
+class AdvisorError(ReproError):
+    """The reordering advisor was asked to predict without training
+    data, fed an inconsistent dataset, or given a model artifact whose
+    version/feature layout does not match this code."""

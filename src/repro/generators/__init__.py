@@ -39,7 +39,13 @@ from .kkt import kkt_matrix
 from .randomer import random_er
 from .circuit import circuit_matrix
 from .cfd import cfd_blocks
-from .suite import CorpusEntry, build_corpus, named_matrix, corpus_names
+from .suite import (
+    CorpusEntry,
+    build_corpus,
+    corpus_names,
+    named_matrix,
+    split_corpus,
+)
 
 __all__ = [
     "stencil_2d",
@@ -60,4 +66,5 @@ __all__ = [
     "build_corpus",
     "named_matrix",
     "corpus_names",
+    "split_corpus",
 ]

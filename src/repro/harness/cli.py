@@ -7,11 +7,13 @@ Commands
 ``reorder``     reorder a Matrix Market file and report feature changes
 ``study``       run the speedup study (Figs 2/3, Tables 3/4) on a tier
 ``recommend``   suggest an ordering for a Matrix Market file
+``advise``      learned, ranked ordering selection (repro.advisor)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..analysis import recommend_ordering
@@ -71,6 +73,66 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _resolve_advise_input(spec: str, scale: float, seed):
+    """A Matrix Market path, or the name of a paper stand-in matrix."""
+    from ..generators.suite import named_matrix, named_matrix_names
+
+    if os.path.exists(spec):
+        a = read_matrix_market(spec)
+        return a, os.path.splitext(os.path.basename(spec))[0]
+    if spec in named_matrix_names():
+        entry = named_matrix(spec, scale=scale, seed=seed)
+        return entry.matrix, entry.name
+    raise SystemExit(
+        f"advise: {spec!r} is neither a file nor a named stand-in "
+        f"(known stand-ins: {', '.join(named_matrix_names())})")
+
+
+def _cmd_advise(args) -> int:
+    from ..advisor import Advisor, AdvisorModel, train_model
+    from .runner import OrderingCache
+
+    a, name = _resolve_advise_input(args.input, args.scale, args.seed)
+    arch = get_architecture(args.arch)
+    orderings = args.orderings.split(",") if args.orderings else None
+    if args.model and os.path.exists(args.model):
+        model = AdvisorModel.load(args.model)
+        print(f"loaded model from {args.model} "
+              f"({model.trained_on.get('rows', '?')} training rows)")
+    else:
+        cache = OrderingCache(path=args.cache) if args.cache else None
+        model = train_model(tier=args.train_tier, architectures=[arch],
+                            orderings=orderings, cache=cache,
+                            seed=args.seed, limit=args.train_limit)
+        print(f"trained on {model.trained_on['rows']} rows "
+              f"({args.train_tier} tier, {arch.name})")
+        if args.model:
+            model.save(args.model)
+            print(f"saved model to {args.model}")
+    advisor = Advisor(model, iterations=args.iterations)
+    advice = advisor.advise(a, arch, kernel=args.kernel, matrix_name=name,
+                            top=args.top)
+    print(f"\nranked orderings for {name} ({a.nrows}x{a.ncols}, "
+          f"nnz={a.nnz}) on {arch.name}, {args.kernel.upper()} kernel:")
+    rows = [[i + 1, adv.ordering, adv.predicted_speedup, adv.confidence]
+            for i, adv in enumerate(advice)]
+    print(format_table(["rank", "ordering", "pred. speedup", "confidence"],
+                       rows, floatfmt="{:.3f}"))
+    top = advice[0]
+    if top.ordering == "original":
+        print("keep the natural order: no candidate clears the "
+              "reordering-cost break-even"
+              if args.iterations is not None else
+              "keep the natural order: no reordering is predicted "
+              "to help")
+    else:
+        be = model.costs.break_even_iterations(
+            top.ordering, a.nnz, top.predicted_speedup)
+        print(f"{top.ordering} amortizes its reordering cost after "
+              f"~{be:.0f} SpMV iterations")
+    return 0
+
+
 def _cmd_study(args) -> int:
     from ..machine import architecture_names as anames
     from .experiments import REORDERINGS, experiment_speedups
@@ -126,6 +188,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="1d", choices=("1d", "2d"))
     p.add_argument("--nparts", type=int, default=64)
     p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser(
+        "advise",
+        help="learned ordering selection for a matrix on a machine")
+    p.add_argument("input",
+                   help="Matrix Market file or a named stand-in "
+                        "(e.g. Freescale2)")
+    p.add_argument("--arch", default="Milan B",
+                   help="target Table 2 architecture")
+    p.add_argument("--kernel", default="1d", choices=("1d", "2d"))
+    p.add_argument("--model", default=None,
+                   help="JSON model artifact to load (or save after "
+                        "training)")
+    p.add_argument("--train-tier", default="tiny",
+                   choices=("tiny", "small", "medium"),
+                   help="corpus tier to train on when no model exists")
+    p.add_argument("--train-limit", type=int, default=None,
+                   help="cap the number of training matrices")
+    p.add_argument("--orderings", default="",
+                   help="comma-separated candidate orderings "
+                        "(default: all six)")
+    p.add_argument("--iterations", type=float, default=None,
+                   help="SpMV iteration budget for the cost break-even "
+                        "gate (default: no gating)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="scale of a named stand-in input")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=None,
+                   help="only print the best N orderings")
+    p.add_argument("--cache", default=None,
+                   help="directory for the training ordering cache")
+    p.set_defaults(func=_cmd_advise)
 
     p = sub.add_parser("study", help="run the speedup study")
     p.add_argument("--tier", default="tiny",

@@ -5,7 +5,7 @@ evaluating the performance model, and the same (matrix, ordering,
 part-count) triple recurs across the eight architectures and the two
 kernels.  :class:`OrderingCache` memoises permutations in memory and
 optionally on disk (``.npz`` per corpus), so a full 8-architecture
-sweep costes one ordering pass.
+sweep costs one ordering pass.
 """
 
 from __future__ import annotations
@@ -31,13 +31,33 @@ class OrderingCache:
     in one ``.npz`` with its timing metadata.  Matrices are keyed by
     name — callers are responsible for name uniqueness within a corpus
     (which :func:`repro.generators.build_corpus` guarantees).
+
+    ``stats`` exposes hit/miss counters so downstream consumers (the
+    advisor's serving cache, the benchmark harness) can observe how
+    much reordering work was actually reused.
     """
 
     def __init__(self, path: str | None = None) -> None:
         self.path = path
         self._memory: dict = {}
+        self._hits = 0
+        self._disk_hits = 0
+        self._misses = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
+
+    @property
+    def stats(self) -> dict:
+        """Counters: in-memory hits, disk hits, and (computed) misses."""
+        total = self._hits + self._disk_hits + self._misses
+        return {
+            "hits": self._hits,
+            "disk_hits": self._disk_hits,
+            "misses": self._misses,
+            "requests": total,
+            "hit_rate": ((self._hits + self._disk_hits) / total
+                         if total else 0.0),
+        }
 
     @staticmethod
     def _key(a: CSRMatrix, matrix_name: str, ordering: str,
@@ -56,19 +76,35 @@ class OrderingCache:
         """Return the cached ordering, computing it on a miss."""
         key = self._key(a, matrix_name, ordering, nparts)
         if key in self._memory:
+            self._hits += 1
             return self._memory[key]
         if self.path is not None:
             f = os.path.join(self.path, key + ".npz")
             if os.path.exists(f):
-                data = np.load(f)
-                result = OrderingResult(
-                    algorithm=str(data["algorithm"]),
-                    perm=data["perm"],
-                    symmetric=bool(data["symmetric"]),
-                    seconds=float(data["seconds"]))
-                self._memory[key] = result
-                return result
+                result = self._load(f)
+                if result is not None:
+                    self._memory[key] = result
+                    self._disk_hits += 1
+                    return result
+        self._misses += 1
         result = compute_ordering(a, ordering, nparts=nparts, seed=seed)
+        return self._store(key, result)
+
+    @staticmethod
+    def _load(f: str):
+        """Read one disk entry; a corrupt/truncated file is a miss (it
+        will be recomputed and overwritten), not a crash."""
+        try:
+            data = np.load(f)
+            return OrderingResult(
+                algorithm=str(data["algorithm"]),
+                perm=data["perm"],
+                symmetric=bool(data["symmetric"]),
+                seconds=float(data["seconds"]))
+        except Exception:
+            return None
+
+    def _store(self, key: str, result: OrderingResult) -> OrderingResult:
         self._memory[key] = result
         if self.path is not None:
             np.savez(os.path.join(self.path, key + ".npz"),

@@ -1,0 +1,48 @@
+"""Shared fixtures for the advisor tests.
+
+One small corpus, one architecture and one sweep-backed dataset are
+built per module; the ordering subset keeps the reordering pass fast
+while still giving the learner several labels to choose between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import Advisor, AdvisorModel, build_dataset
+from repro.generators import build_corpus
+from repro.harness import OrderingCache
+from repro.machine import get_architecture
+
+ORDERINGS = ("RCM", "GP", "Gray")
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return get_architecture("Rome")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus("tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def ordering_cache():
+    return OrderingCache()
+
+
+@pytest.fixture(scope="module")
+def dataset(corpus, arch, ordering_cache):
+    return build_dataset(corpus[:8], [arch], orderings=ORDERINGS,
+                         cache=ordering_cache, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return AdvisorModel(k=3).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def advisor(model):
+    return Advisor(model)

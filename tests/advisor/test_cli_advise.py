@@ -1,0 +1,54 @@
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.matrix import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, rng):
+    from ..conftest import random_csr
+
+    a = random_csr(60, 400, rng, symmetric=True)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(a, path)
+    return str(path)
+
+
+def test_advise_trains_and_ranks(mtx_file, capsys):
+    assert main(["advise", mtx_file, "--arch", "Rome",
+                 "--train-limit", "4", "--orderings", "RCM,Gray"]) == 0
+    out = capsys.readouterr().out
+    assert "trained on" in out
+    assert "ranked orderings" in out
+    assert "RCM" in out and "original" in out
+
+
+def test_advise_saves_and_loads_model(mtx_file, tmp_path, capsys):
+    model_path = str(tmp_path / "advisor.json")
+    assert main(["advise", mtx_file, "--arch", "Rome",
+                 "--train-limit", "4", "--orderings", "RCM,Gray",
+                 "--model", model_path]) == 0
+    assert "saved model" in capsys.readouterr().out
+    with open(model_path) as f:
+        assert json.load(f)["version"] == 1
+    # second invocation loads instead of retraining
+    assert main(["advise", mtx_file, "--arch", "Rome",
+                 "--model", model_path, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "loaded model" in out
+    assert "trained on" not in out
+
+
+def test_advise_named_standin(capsys):
+    assert main(["advise", "Freescale2", "--arch", "Rome",
+                 "--scale", "0.1", "--train-limit", "3",
+                 "--orderings", "RCM,Gray", "--iterations", "1e-9"]) == 0
+    out = capsys.readouterr().out
+    assert "keep the natural order" in out
+
+
+def test_advise_rejects_unknown_input():
+    with pytest.raises(SystemExit):
+        main(["advise", "no_such_matrix_anywhere", "--arch", "Rome"])

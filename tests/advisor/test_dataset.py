@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.advisor import build_dataset
+from repro.advisor.featurize import FEATURE_NAMES
+from repro.errors import AdvisorError
+
+from .conftest import ORDERINGS
+
+
+def test_row_count(dataset, corpus, arch):
+    # 8 matrices x 1 arch x 2 kernels
+    assert len(dataset) == 8 * 2
+
+
+def test_rows_cover_both_kernels(dataset):
+    kernels = {(r.matrix, r.kernel) for r in dataset}
+    matrices = {r.matrix for r in dataset}
+    assert len(kernels) == 2 * len(matrices)
+
+
+def test_speedups_include_baseline(dataset):
+    for row in dataset:
+        assert row.speedups["original"] == 1.0
+        assert set(row.speedups) == {"original", *ORDERINGS}
+
+
+def test_best_matches_speedups(dataset):
+    for row in dataset:
+        assert row.best in row.speedups
+        assert row.best_speedup == row.speedups[row.best]
+        assert row.best_speedup == max(row.speedups.values())
+        assert row.best_speedup >= 1.0  # "original" is always a candidate
+
+
+def test_features_shape_and_finiteness(dataset):
+    for row in dataset:
+        assert row.features.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(row.features))
+
+
+def test_kernel_flag_differs_between_kernels(dataset):
+    by_kernel = {}
+    for row in dataset:
+        by_kernel.setdefault(row.kernel, row.features[-1])
+    assert by_kernel["1d"] == 0.0
+    assert by_kernel["2d"] == 1.0
+
+
+def test_reorder_costs_and_taxonomy(dataset):
+    classes = set()
+    for row in dataset:
+        assert set(row.reorder_seconds) == set(ORDERINGS)
+        assert all(s >= 0 for s in row.reorder_seconds.values())
+        assert row.spmv_seconds > 0
+        classes.add(row.taxonomy_class)
+        assert 0 <= row.taxonomy_class <= 6
+    assert classes - {0}  # at least one row got a real §4.4 class
+
+
+def test_empty_corpus_rejected(arch):
+    with pytest.raises(AdvisorError):
+        build_dataset([], [arch])
+
+
+def test_dataset_reuses_ordering_cache(corpus, arch, ordering_cache):
+    # the module fixtures already swept these matrices; replaying the
+    # dataset build through the same cache must not recompute orderings
+    before = ordering_cache.stats["misses"]
+    build_dataset(corpus[:2], [arch], orderings=ORDERINGS,
+                  cache=ordering_cache, seed=0)
+    assert ordering_cache.stats["misses"] == before
+    assert ordering_cache.stats["hits"] > 0

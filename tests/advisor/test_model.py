@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.advisor import MODEL_VERSION, Advice, AdvisorModel
+from repro.advisor.featurize import FEATURE_NAMES
+from repro.errors import AdvisorError
+
+
+def test_untrained_model_refuses_to_predict():
+    m = AdvisorModel()
+    with pytest.raises(AdvisorError):
+        m.predict_ranked(np.zeros(len(FEATURE_NAMES)))
+    with pytest.raises(AdvisorError):
+        m.to_json()
+
+
+def test_fit_requires_rows():
+    with pytest.raises(AdvisorError):
+        AdvisorModel().fit([])
+
+
+def test_ranked_output_is_complete_and_sorted(model, dataset):
+    ranked = model.predict_ranked(dataset[0].features)
+    speedups = [a.predicted_speedup for a in ranked]
+    assert speedups == sorted(speedups, reverse=True)
+    assert {a.ordering for a in ranked} == set(model.orderings)
+    assert all(isinstance(a, Advice) for a in ranked)
+    assert all(0.0 <= a.confidence <= 1.0 + 1e-12 for a in ranked)
+
+
+def test_prediction_is_deterministic(model, dataset):
+    x = dataset[3].features
+    first = model.predict_ranked(x, nnz=dataset[3].nnz)
+    for _ in range(3):
+        assert model.predict_ranked(x, nnz=dataset[3].nnz) == first
+
+
+def test_json_round_trip_is_identical(model, tmp_path):
+    d = model.to_json()
+    m2 = AdvisorModel.from_json(d)
+    assert m2.to_json() == d
+    path = tmp_path / "model.json"
+    model.save(path)
+    m3 = AdvisorModel.load(path)
+    assert m3.to_json() == d
+
+
+def test_round_tripped_model_predicts_identically(model, dataset, tmp_path):
+    path = tmp_path / "model.json"
+    model.save(path)
+    m2 = AdvisorModel.load(path)
+    for row in dataset[:4]:
+        assert m2.predict_ranked(row.features) == \
+            model.predict_ranked(row.features)
+
+
+def test_version_mismatch_rejected(model):
+    d = model.to_json()
+    d["version"] = MODEL_VERSION + 1
+    with pytest.raises(AdvisorError):
+        AdvisorModel.from_json(d)
+
+
+def test_feature_layout_mismatch_rejected(model):
+    d = model.to_json()
+    d["feature_names"] = ["mystery"] * len(d["feature_names"])
+    with pytest.raises(AdvisorError):
+        AdvisorModel.from_json(d)
+
+
+def test_unseen_family_falls_back_gracefully(model):
+    # a feature vector far outside anything in the training corpus:
+    # the model must not crash, must return a full ranked list, and
+    # must signal low confidence (the neighbour vote carries none)
+    x = np.full(len(FEATURE_NAMES), 1e6)
+    ranked = model.predict_ranked(x)
+    assert {a.ordering for a in ranked} == set(model.orderings)
+    assert all(a.confidence == 0.0 for a in ranked)
+    assert all(np.isfinite(a.predicted_speedup) for a in ranked)
+
+
+def test_break_even_returns_natural_order(model, dataset):
+    # with (almost) no SpMV iterations ahead, no reordering can ever
+    # amortize its cost: "keep natural order" must win
+    row = max(dataset, key=lambda r: r.best_speedup)
+    ranked = model.predict_ranked(row.features, nnz=row.nnz,
+                                  iterations=1e-9)
+    assert ranked[0].ordering == "original"
+    # with an unbounded budget the gate never demotes the top pick
+    free = model.predict_ranked(row.features, nnz=row.nnz,
+                                iterations=float("inf"))
+    ungated = model.predict_ranked(row.features)
+    assert free == ungated
+
+
+def test_wrong_feature_width_rejected(model):
+    with pytest.raises(AdvisorError):
+        model.predict_ranked(np.zeros(3))

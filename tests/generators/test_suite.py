@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import GeneratorError
-from repro.generators import build_corpus, corpus_names, named_matrix
+from repro.generators import (
+    build_corpus,
+    corpus_names,
+    named_matrix,
+    split_corpus,
+)
 from repro.generators.suite import named_matrix_names
 from repro.matrix import is_pattern_symmetric
 
@@ -99,3 +104,61 @@ def test_figure1_and_table5_stand_ins_present():
               "kron_g500-logn21", "mycielskian19", "nlpkkt240",
               "vas_stokes_4M", "333SP", "nv2", "audikw_1"}
     assert needed <= set(named_matrix_names())
+
+
+# ----------------------------------------------------------------------
+# train/test splitting (advisor evaluation support)
+# ----------------------------------------------------------------------
+def test_split_is_disjoint_and_complete():
+    corpus = build_corpus("tiny", seed=0)
+    train, test = split_corpus(corpus, test_fraction=0.25, seed=0)
+    train_names = {e.name for e in train}
+    test_names = {e.name for e in test}
+    assert not train_names & test_names
+    assert train_names | test_names == {e.name for e in corpus}
+    assert test
+
+
+def test_split_is_deterministic():
+    corpus = build_corpus("tiny", seed=0)
+    a = split_corpus(corpus, test_fraction=0.3, seed=5)
+    b = split_corpus(corpus, test_fraction=0.3, seed=5)
+    assert [e.name for e in a[0]] == [e.name for e in b[0]]
+    assert [e.name for e in a[1]] == [e.name for e in b[1]]
+    c = split_corpus(corpus, test_fraction=0.3, seed=6)
+    assert [e.name for e in c[1]] != [e.name for e in a[1]]
+
+
+def test_split_is_stratified_by_group():
+    corpus = build_corpus("tiny", seed=0)
+    train, test = split_corpus(corpus, test_fraction=0.3, seed=0)
+    train_groups = {e.group for e in train}
+    sizes = {}
+    for e in corpus:
+        sizes[e.group] = sizes.get(e.group, 0) + 1
+    # every family keeps at least one training member, and every
+    # family with >= 2 members contributes to the test side
+    assert train_groups == {e.group for e in corpus}
+    test_groups = {e.group for e in test}
+    for group, n in sizes.items():
+        if n >= 2:
+            assert group in test_groups
+
+
+def test_split_preserves_corpus_order():
+    corpus = build_corpus("tiny", seed=0)
+    train, test = split_corpus(corpus, test_fraction=0.25, seed=3)
+    order = {e.name: i for i, e in enumerate(corpus)}
+    for part in (train, test):
+        idx = [order[e.name] for e in part]
+        assert idx == sorted(idx)
+
+
+def test_split_rejects_bad_inputs():
+    corpus = build_corpus("tiny", seed=0)
+    with pytest.raises(GeneratorError):
+        split_corpus([], 0.25)
+    with pytest.raises(GeneratorError):
+        split_corpus(corpus, 0.0)
+    with pytest.raises(GeneratorError):
+        split_corpus(corpus, 1.0)

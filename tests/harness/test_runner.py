@@ -83,3 +83,46 @@ def test_model_factory_hook(tiny_corpus):
     run_sweep(tiny_corpus[:1], [get_architecture("Rome")], ["Gray"],
               model_factory=factory)
     assert calls == ["Rome"]
+
+
+def test_ordering_cache_stats(tiny_corpus):
+    cache = OrderingCache()
+    e = tiny_corpus[0]
+    assert cache.stats == {"hits": 0, "disk_hits": 0, "misses": 0,
+                           "requests": 0, "hit_rate": 0.0}
+    cache.get(e.matrix, e.name, "RCM")
+    cache.get(e.matrix, e.name, "RCM")
+    cache.get(e.matrix, e.name, "Gray")
+    s = cache.stats
+    assert s["hits"] == 1 and s["misses"] == 2
+    assert s["requests"] == 3
+    assert s["hit_rate"] == pytest.approx(1 / 3)
+
+
+def test_ordering_cache_stats_disk(tiny_corpus, tmp_path):
+    e = tiny_corpus[0]
+    c1 = OrderingCache(path=str(tmp_path))
+    c1.get(e.matrix, e.name, "RCM")
+    assert c1.stats["misses"] == 1
+    c2 = OrderingCache(path=str(tmp_path))
+    c2.get(e.matrix, e.name, "RCM")
+    c2.get(e.matrix, e.name, "RCM")
+    s = c2.stats
+    assert s["disk_hits"] == 1 and s["hits"] == 1 and s["misses"] == 0
+
+
+def test_ordering_cache_survives_corrupt_disk_entry(tiny_corpus, tmp_path):
+    e = tiny_corpus[0]
+    c1 = OrderingCache(path=str(tmp_path))
+    r1 = c1.get(e.matrix, e.name, "RCM")
+    # truncate the artifact, as a botched copy or git filter would
+    npz = next(tmp_path.glob("*.npz"))
+    npz.write_bytes(npz.read_bytes()[:100])
+    c2 = OrderingCache(path=str(tmp_path))
+    r2 = c2.get(e.matrix, e.name, "RCM")
+    assert np.array_equal(r1.perm, r2.perm)
+    assert c2.stats["misses"] == 1 and c2.stats["disk_hits"] == 0
+    # the recompute overwrote the corrupt file: next cache reads it
+    c3 = OrderingCache(path=str(tmp_path))
+    c3.get(e.matrix, e.name, "RCM")
+    assert c3.stats["disk_hits"] == 1
