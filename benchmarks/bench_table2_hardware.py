@@ -28,9 +28,14 @@ def render_table2() -> str:
         format_table(headers, rows, floatfmt="{:.1f}")
 
 
-def test_table2_hardware(benchmark, emit):
+def test_table2_hardware(benchmark, emit, emit_json):
     text = benchmark(render_table2)
     emit("table2_hardware", text)
+    emit_json("table2_hardware", {
+        n: {"cpu": TABLE2[n].cpu, "isa": TABLE2[n].isa,
+            "cores": TABLE2[n].cores,
+            "bandwidth_gbs": TABLE2[n].bandwidth / 1e9}
+        for n in architecture_names()})
     assert "Milan B" in text
     # the paper's GP part counts must be exactly the core counts
     parts = sorted(get_architecture(n).gp_parts

@@ -3,9 +3,19 @@
 Shape targets (paper Table 3): GP has the highest geometric mean on
 every machine; HP second overall; RCM above 1; AMD and Gray below 1;
 Gray worst.
+
+Also hosts the sweep-engine scaling check: with enough cores, a
+``jobs=4`` engine run over the demo corpus must beat the serial run by
+at least 2× wall-clock.
 """
 
-from repro.harness import experiment_speedups, render_geomean_table
+import os
+import time
+
+import pytest
+
+from repro.harness import SweepEngine, experiment_speedups, \
+    render_geomean_table
 from repro.harness.experiments import REORDERINGS
 from repro.machine import architecture_names
 
@@ -38,3 +48,46 @@ def test_table3_geomeans_1d(benchmark, full_sweep, emit):
         assert row["GP"] >= 0.97 * best, a
         wins += row["GP"] == best
     assert wins >= len(architecture_names()) // 2
+
+
+def test_sweep_observability_artifact(sweep_metrics, emit_json):
+    """The engine's machine-readable metrics are complete and coherent."""
+    m = sweep_metrics.to_dict()
+    emit_json("sweep_metrics_table3", m)
+    assert m["cells"]["failed"] == 0
+    assert m["cells"]["completed"] == m["cells"]["total"]
+    cache = m["cache"]
+    if cache.get("requests"):
+        assert cache["requests"] == (cache["hits"] + cache["disk_hits"]
+                                     + cache["misses"])
+
+
+def _timed_sweep(corpus, archs, jobs, tmpdir):
+    from repro.harness import OrderingCache
+
+    start = time.perf_counter()
+    engine = SweepEngine(corpus, archs, list(REORDERINGS),
+                         cache=OrderingCache(path=str(tmpdir / f"c{jobs}")),
+                         jobs=jobs)
+    result = engine.run()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.skipif(
+    len(os.sched_getaffinity(0)) < 4,
+    reason="parallel-speedup check needs >= 4 usable cores")
+def test_engine_parallel_speedup_at_jobs4(corpus, all_architectures,
+                                          tmp_path_factory, emit_json):
+    """--jobs 4 must give >= 2x wall-clock over serial on the demo
+    corpus (each worker gets a cold cache, so the comparison is fair)."""
+    tmpdir = tmp_path_factory.mktemp("engine_scaling")
+    demo = corpus[: min(len(corpus), 12)]
+    t_serial, r_serial = _timed_sweep(demo, all_architectures, 1, tmpdir)
+    t_fanout, r_fanout = _timed_sweep(demo, all_architectures, 4, tmpdir)
+    emit_json("sweep_engine_scaling", {
+        "matrices": len(demo), "serial_seconds": t_serial,
+        "jobs4_seconds": t_fanout,
+        "speedup": t_serial / t_fanout if t_fanout else None})
+    assert r_serial.records == r_fanout.records
+    assert t_serial / t_fanout >= 2.0, \
+        f"jobs=4 speedup only {t_serial / t_fanout:.2f}x"

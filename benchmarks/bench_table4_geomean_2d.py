@@ -22,7 +22,7 @@ def _overall(study):
     return out
 
 
-def test_table4_geomeans_2d(benchmark, full_sweep, emit):
+def test_table4_geomeans_2d(benchmark, full_sweep, emit, emit_json):
     study2 = benchmark.pedantic(
         experiment_speedups,
         args=(full_sweep, architecture_names(), "2d"),
@@ -31,6 +31,9 @@ def test_table4_geomeans_2d(benchmark, full_sweep, emit):
     emit("table4_geomean_2d",
          render_geomean_table(study2, architecture_names(),
                               "Table 4: geomean 2D speedups"))
+    emit_json("table4_geomean_2d", {
+        f"{arch}/{o}": study2.geomeans[(arch, o)]
+        for arch in architecture_names() for o in REORDERINGS})
     o1, o2 = _overall(study1), _overall(study2)
     # GP's and HP's advantages shrink with the balanced kernel...
     assert o2["GP"] < o1["GP"]

@@ -16,11 +16,16 @@ from conftest import NAMED_SCALE
 ORDER = ("RCM", "AMD", "ND", "GP", "HP", "Gray")
 
 
-def test_table5_reordering_overhead(benchmark, emit):
+def test_table5_reordering_overhead(benchmark, emit, emit_json):
     rows = benchmark.pedantic(
         experiment_overhead, kwargs={"scale": NAMED_SCALE},
         rounds=1, iterations=1)
     emit("table5_overhead", render_overhead_table(rows))
+    emit_json("table5_overhead", [
+        {"matrix": r[0],
+         **{o: r[1 + i] for i, o in enumerate(ORDER)},
+         "spmv_model_seconds": r[-1]}
+        for r in rows])
 
     times = {o: np.array([r[1 + i] for r in rows])
              for i, o in enumerate(ORDER)}

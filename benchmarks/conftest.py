@@ -2,30 +2,38 @@
 
 All benches share one corpus, one ordering cache (persisted on disk, so
 re-runs skip the expensive reordering pass) and one full measurement
-sweep.  Set ``REPRO_BENCH_TIER=small`` (or ``medium``) for a larger
-corpus closer to the paper's scale — the default ``tiny`` keeps the
-full suite in the minutes range on one core.
+sweep.  The sweep runs through :class:`repro.harness.SweepEngine`: set
+``REPRO_BENCH_JOBS=N`` to fan it out over N worker processes, and the
+JSONL journal under ``benchmarks/output/`` makes an interrupted bench
+run resume instead of recomputing.  Set ``REPRO_BENCH_TIER=small`` (or
+``medium``) for a larger corpus closer to the paper's scale — the
+default ``tiny`` keeps the full suite in the minutes range on one core.
 
 Rendered tables/figures are printed (visible with ``pytest -s``) and
-also written under ``benchmarks/output/`` so the artifacts persist.
+also written under ``benchmarks/output/`` so the artifacts persist;
+machine-readable JSON artifacts (including ``sweep_metrics.json``) land
+next to them.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.generators import build_corpus
-from repro.harness import OrderingCache, run_sweep
+from repro.harness import OrderingCache, SweepEngine
 from repro.harness.experiments import REORDERINGS
 from repro.machine import architecture_names, get_architecture
 
 TIER = os.environ.get("REPRO_BENCH_TIER", "tiny")
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 OUTPUT_DIR = Path(__file__).parent / "output" / TIER
 CACHE_DIR = Path(__file__).parent / f".ordering_cache_{TIER}_{SEED}"
+JOURNAL = OUTPUT_DIR / f"sweep_journal_{TIER}_{SEED}.jsonl"
 #: scale of the named stand-in matrices used by Figures 1/4 & Table 5
 NAMED_SCALE = {"tiny": 0.25, "small": 1.0, "medium": 2.0}[TIER]
 
@@ -46,10 +54,36 @@ def all_architectures():
 
 
 @pytest.fixture(scope="session")
-def full_sweep(corpus, all_architectures, ordering_cache):
+def sweep_engine(corpus, all_architectures, ordering_cache):
+    """The engine behind ``full_sweep`` — journaled and resumable, so a
+    killed bench run continues where it stopped."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return SweepEngine(corpus, all_architectures, list(REORDERINGS),
+                       cache=ordering_cache, seed=SEED, jobs=JOBS,
+                       journal_path=str(JOURNAL), resume=True)
+
+
+@pytest.fixture(scope="session")
+def full_sweep(sweep_engine):
     """The complete measurement sweep behind Figures 2/3 and Tables 3/4."""
-    return run_sweep(corpus, all_architectures, list(REORDERINGS),
-                     cache=ordering_cache, seed=SEED)
+    from repro.errors import HarnessError
+
+    try:
+        result = sweep_engine.run()
+    except HarnessError:
+        # stale journal from an older corpus/config: start over
+        JOURNAL.unlink(missing_ok=True)
+        result = sweep_engine.run()
+    assert result.complete, \
+        f"sweep had {len(result.failed)} failed cells: {result.failed[:3]}"
+    sweep_engine.metrics.save(OUTPUT_DIR / "sweep_metrics.json")
+    return result
+
+
+@pytest.fixture(scope="session")
+def sweep_metrics(full_sweep, sweep_engine):
+    """Observability snapshot of the sweep run (cells, stages, cache)."""
+    return sweep_engine.metrics
 
 
 @pytest.fixture(scope="session")
@@ -60,5 +94,18 @@ def emit():
     def _emit(name: str, text: str) -> None:
         print(f"\n{text}\n")
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_json():
+    """Persist a machine-readable artifact next to the text tables."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _emit(name: str, data) -> None:
+        path = OUTPUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True,
+                                   default=str) + "\n")
 
     return _emit

@@ -65,9 +65,13 @@ def build_dataset(corpus: list, architectures: list, orderings=None,
     orderings:
         Candidate reorderings (defaults to the paper's six).
     sweep:
-        A pre-computed sweep to replay.  It must cover ``corpus`` ×
+        A pre-computed sweep to replay.  It should cover ``corpus`` ×
         ``architectures`` × ``kernels`` × ``orderings``; when ``None``
-        a fresh sweep is run (through ``cache``).
+        a fresh fault-tolerant sweep is run (through ``cache``).
+        Cells the sweep engine journaled as :class:`FailedCell` (or
+        that are simply absent) are skipped, not fatal: a failed
+        ordering drops out of that matrix's candidate set, and a failed
+        baseline drops the whole (matrix, architecture) row.
     """
     if not corpus:
         raise AdvisorError("cannot build a dataset from an empty corpus")
@@ -80,22 +84,38 @@ def build_dataset(corpus: list, architectures: list, orderings=None,
     cache = cache or OrderingCache()
     if sweep is None:
         sweep = run_sweep(corpus, architectures, list(orderings),
-                          kernels=kernels, cache=cache, seed=seed)
+                          kernels=kernels, cache=cache, seed=seed,
+                          strict=False)
     rows = []
     for entry in corpus:
         a = entry.matrix
         for arch in architectures:
+            try:
+                base = {k: sweep.lookup(entry.name, "original", k,
+                                        arch.name)
+                        for k in kernels}
+            except KeyError:
+                continue  # baseline failed: no labels for this row
+            # keep only orderings whose every kernel cell succeeded
+            # and whose permutation is (re)computable for the costs
+            usable = []
+            reorder_seconds = {}
+            for o in orderings:
+                try:
+                    for kernel in kernels:
+                        sweep.lookup(entry.name, o, kernel, arch.name)
+                    reorder_seconds[o] = cache.get(
+                        a, entry.name, o, nparts=arch.gp_parts,
+                        seed=seed).seconds
+                except Exception:  # missing cell or flaky reordering
+                    reorder_seconds.pop(o, None)
+                    continue
+                usable.append(o)
             mf = matrix_features(a, arch.threads)
-            reorder_seconds = {
-                o: cache.get(a, entry.name, o, nparts=arch.gp_parts,
-                             seed=seed).seconds
-                for o in orderings}
-            base = {k: sweep.lookup(entry.name, "original", k, arch.name)
-                    for k in kernels}
             per_kernel = {}
             for kernel in kernels:
                 sp = {"original": 1.0}
-                for o in orderings:
+                for o in usable:
                     rec = sweep.lookup(entry.name, o, kernel, arch.name)
                     sp[o] = rec.gflops_max / base[kernel].gflops_max
                 per_kernel[kernel] = sp

@@ -4,11 +4,20 @@ tables and figures from the synthetic corpus and the machine model.
 * :mod:`.runner` — runs (matrix × ordering × architecture × kernel)
   sweeps with a persistent ordering cache (permutations are expensive;
   model evaluations are cheap).
+* :mod:`.engine` — the parallel, journaled, fault-tolerant sweep
+  executor behind :func:`~repro.harness.runner.run_sweep` and
+  ``python -m repro sweep``.
 * :mod:`.experiments` — one entry point per table/figure of the paper.
 * :mod:`.report` — plain-text rendering of the results.
 """
 
 from .runner import OrderingCache, SweepResult, run_sweep
+from .engine import (
+    FailedCell,
+    SweepEngine,
+    SweepJournal,
+    SweepMetrics,
+)
 from .artifact import (
     export_all_artifacts,
     read_artifact_file,
@@ -35,6 +44,10 @@ __all__ = [
     "OrderingCache",
     "SweepResult",
     "run_sweep",
+    "FailedCell",
+    "SweepEngine",
+    "SweepJournal",
+    "SweepMetrics",
     "export_all_artifacts",
     "read_artifact_file",
     "write_artifact_file",

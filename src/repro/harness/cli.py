@@ -6,6 +6,7 @@ Commands
 ``archs``       print the Table 2 machines
 ``reorder``     reorder a Matrix Market file and report feature changes
 ``study``       run the speedup study (Figs 2/3, Tables 3/4) on a tier
+``sweep``       run the parallel, resumable measurement sweep engine
 ``recommend``   suggest an ordering for a Matrix Market file
 ``advise``      learned, ranked ordering selection (repro.advisor)
 """
@@ -143,7 +144,9 @@ def _cmd_study(args) -> int:
     archs = [get_architecture(n)
              for n in (args.archs.split(",") if args.archs else anames())]
     sweep = run_sweep(corpus, archs, list(REORDERINGS),
-                      cache=OrderingCache(path=args.cache))
+                      cache=OrderingCache(path=args.cache),
+                      jobs=args.jobs, journal_path=args.journal,
+                      resume=args.resume)
     names = [a.name for a in archs]
     for kernel, tbl in (("1d", 3), ("2d", 4)):
         study = experiment_speedups(sweep, names, kernel)
@@ -156,6 +159,72 @@ def _cmd_study(args) -> int:
                 study, names, f"speedup distribution ({kernel})"))
             print()
     return 0
+
+
+def _progress_printer(total_hint=None, stream=None, min_interval=0.5):
+    """A throttled ``--progress`` heartbeat for the sweep engine."""
+    import time
+
+    stream = stream or sys.stderr
+    last = [0.0]
+
+    def cb(done, total, failed, elapsed) -> None:
+        now = time.monotonic()
+        if done < total and now - last[0] < min_interval:
+            return
+        last[0] = now
+        rate = done / elapsed if elapsed > 0 else 0.0
+        stream.write(f"[sweep] {done}/{total} cells, {failed} failed, "
+                     f"{elapsed:.1f}s elapsed ({rate:.0f} cells/s)\n")
+        stream.flush()
+
+    return cb
+
+
+def _cmd_sweep(args) -> int:
+    from ..util.timing import Timer
+    from .engine import SweepEngine
+    from .experiments import REORDERINGS, experiment_speedups
+    from .report import render_geomean_table, render_sweep_summary
+    from .runner import OrderingCache
+
+    with Timer() as t_gen:
+        corpus = build_corpus(args.tier, seed=args.seed)
+        if args.limit:
+            corpus = corpus[:args.limit]
+    archs = [get_architecture(n)
+             for n in (args.archs.split(",")
+                       if args.archs else architecture_names())]
+    orderings = (args.orderings.split(",") if args.orderings
+                 else list(REORDERINGS))
+    kernels = tuple(args.kernels.split(","))
+    engine = SweepEngine(
+        corpus, archs, orderings, kernels=kernels,
+        cache=OrderingCache(path=args.cache),
+        seed=args.seed, jobs=args.jobs, journal_path=args.journal,
+        resume=args.resume, timeout=args.timeout, retries=args.retries,
+        progress=_progress_printer() if args.progress else None)
+    sweep = engine.run()
+    engine.metrics.stages["generate"] = t_gen.elapsed
+    if args.metrics:
+        engine.metrics.save(args.metrics)
+        print(f"wrote {args.metrics}")
+    print(render_sweep_summary(engine.metrics, sweep.failed))
+    if args.tables:
+        names = [a.name for a in archs]
+        if sweep.failed or set(orderings) < set(REORDERINGS):
+            print("\n(geomean tables skipped: the sweep is incomplete "
+                  "or ran an ordering subset)")
+        else:
+            for kernel, tbl in (("1d", 3), ("2d", 4)):
+                if kernel not in kernels:
+                    continue
+                study = experiment_speedups(sweep, names, kernel)
+                print()
+                print(render_geomean_table(
+                    study, names,
+                    f"Table {tbl}: geomean {kernel.upper()} speedups"))
+    return 1 if (sweep.failed and args.strict) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,6 +290,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for the training ordering cache")
     p.set_defaults(func=_cmd_advise)
 
+    p = sub.add_parser(
+        "sweep",
+        help="run the parallel, resumable measurement sweep engine")
+    p.add_argument("--tier", default="tiny",
+                   choices=("tiny", "small", "medium"))
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap the number of corpus matrices")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--archs", default="",
+                   help="comma-separated arch names (default: all 8)")
+    p.add_argument("--orderings", default="",
+                   help="comma-separated orderings (default: the six)")
+    p.add_argument("--kernels", default="1d,2d",
+                   help="comma-separated kernels (default: 1d,2d)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = run inline)")
+    p.add_argument("--journal", default=None,
+                   help="append-only JSONL checkpoint file")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --journal")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock budget in seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for a failing ordering")
+    p.add_argument("--progress", action="store_true",
+                   help="print a heartbeat while the sweep runs")
+    p.add_argument("--metrics", default="sweep_metrics.json",
+                   help="machine-readable metrics artifact "
+                        "(empty string disables)")
+    p.add_argument("--tables", action="store_true",
+                   help="print the Table 3/4 geomeans afterwards")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero if any cell failed")
+    p.add_argument("--cache", default=None,
+                   help="directory for the ordering cache")
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("study", help="run the speedup study")
     p.add_argument("--tier", default="tiny",
                    choices=("tiny", "small", "medium"))
@@ -229,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated arch names (default: all 8)")
     p.add_argument("--cache", default=None,
                    help="directory for the ordering cache")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="sweep worker processes (1 = run inline)")
+    p.add_argument("--journal", default=None,
+                   help="JSONL checkpoint file for the sweep")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --journal")
     p.add_argument("--boxplots", action="store_true")
     p.set_defaults(func=_cmd_study)
     return parser

@@ -1,0 +1,554 @@
+"""Parallel, resumable sweep engine with fault tolerance.
+
+The paper's core artifact is a (matrix × ordering × architecture ×
+kernel) grid; :class:`SweepEngine` executes that grid
+
+* **in parallel** — tasks fan out over a ``multiprocessing`` pool,
+  chunked by matrix so every ordering of one matrix is computed in the
+  same worker and the per-worker :class:`OrderingCache` pays the
+  reordering cost once across all architectures;
+* **resumably** — every completed cell is journaled to an append-only
+  JSONL checkpoint, so an interrupted sweep restarted with
+  ``resume=True`` skips finished cells (a torn final line is simply
+  recomputed);
+* **fault-tolerantly** — each cell runs under a wall-clock budget with
+  bounded retries; an ordering that raises or times out produces a
+  structured :class:`FailedCell` and the sweep keeps going.
+
+Observability is threaded through the run: per-stage wall-clock
+timings (reorder / model-eval), cache hit-rate snapshots, worker
+utilization and cell counters are collected into a
+:class:`SweepMetrics` that serialises to ``sweep_metrics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+
+from ..errors import HarnessError
+from ..machine.bench import MeasurementRecord, simulate_measurement
+from ..machine.model import PerfModel
+
+JOURNAL_VERSION = 1
+
+
+class CellTimeout(HarnessError):
+    """A sweep cell exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A structured record of one cell the sweep could not complete.
+
+    ``stage`` names where the failure happened (``"reorder"`` or
+    ``"model-eval"``); ``error`` is the exception class name,
+    ``message`` its text.  ``attempts`` counts tries including retries.
+    """
+
+    matrix: str
+    ordering: str
+    kernel: str
+    architecture: str
+    stage: str
+    error: str
+    message: str
+    attempts: int = 1
+    seconds: float = 0.0
+
+    @property
+    def cell(self) -> tuple:
+        return (self.matrix, self.ordering, self.kernel,
+                self.architecture)
+
+
+@contextmanager
+def _deadline(seconds):
+    """Raise :class:`CellTimeout` if the block runs past ``seconds``.
+
+    Uses ``SIGALRM``, so it is a no-op off the main thread or on
+    platforms without it — worker processes always qualify.
+    """
+    usable = (seconds is not None and seconds > 0
+              and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded its {seconds:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# JSONL checkpoint journal
+# ----------------------------------------------------------------------
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed sweep cells.
+
+    Line 1 is a header carrying the sweep *signature* (corpus,
+    architectures, orderings, kernels, seed); every later line is one
+    ``record`` or ``failed`` entry keyed by its cell.  The format is
+    torn-write tolerant: a line that does not parse (the tail of a
+    killed process) is ignored and its cell recomputed on resume.
+    """
+
+    def __init__(self, path: str, signature: dict) -> None:
+        self.path = path
+        self.signature = signature
+        self._fh = None
+
+    # -- reading -------------------------------------------------------
+    @staticmethod
+    def load(path: str) -> tuple:
+        """Parse a journal into ``(signature, records, failures)``.
+
+        ``records`` maps cell tuples to :class:`MeasurementRecord`;
+        ``failures`` is the list of journaled :class:`FailedCell` rows
+        (informational — failed cells stay pending on resume).
+        Undecodable or incomplete lines are skipped.
+        """
+        signature = None
+        records: dict = {}
+        failures: list = []
+        with open(path, "rt") as f:
+            for line in f:
+                try:
+                    entry = json.loads(line)
+                except (json.JSONDecodeError, ValueError):
+                    continue  # torn write from a killed process
+                if not isinstance(entry, dict):
+                    continue
+                kind = entry.get("type")
+                try:
+                    if kind == "header":
+                        signature = entry["signature"]
+                    elif kind == "record":
+                        rec = MeasurementRecord(**entry["data"])
+                        records[tuple(entry["cell"])] = rec
+                    elif kind == "failed":
+                        failures.append(FailedCell(**entry["data"]))
+                except (KeyError, TypeError):
+                    continue  # partially-written or foreign entry
+        if signature is None:
+            raise HarnessError(
+                f"{path}: journal has no readable header line")
+        return signature, records, failures
+
+    # -- writing -------------------------------------------------------
+    @staticmethod
+    def _trim_torn_tail(path: str) -> int:
+        """Drop a torn final line (no trailing newline) left by a
+        killed process, so appended entries start on a fresh line.
+        Returns the resulting file size."""
+        with open(path, "rb+") as f:
+            data = f.read()
+            if not data or data.endswith(b"\n"):
+                return len(data)
+            keep = data.rfind(b"\n") + 1
+            f.truncate(keep)
+            return keep
+
+    def open(self, append: bool) -> None:
+        append = append and os.path.exists(self.path)
+        if append and self._trim_torn_tail(self.path) == 0:
+            append = False  # nothing valid survived: start fresh
+        self._fh = open(self.path, "at" if append else "wt")
+        if not append:
+            self._write({"type": "header", "version": JOURNAL_VERSION,
+                         "signature": self.signature})
+
+    def _write(self, entry: dict) -> None:
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+
+    def append_record(self, cell: tuple, rec: MeasurementRecord) -> None:
+        self._write({"type": "record", "cell": list(cell),
+                     "data": asdict(rec)})
+
+    def append_failure(self, failure: FailedCell) -> None:
+        self._write({"type": "failed", "cell": list(failure.cell),
+                     "data": asdict(failure)})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+@dataclass
+class SweepMetrics:
+    """Machine-readable observability artifact of one engine run."""
+
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    stages: dict = field(default_factory=lambda: {
+        "generate": 0.0, "reorder": 0.0, "model_eval": 0.0})
+    cache: dict = field(default_factory=dict)
+    cells: dict = field(default_factory=lambda: {
+        "total": 0, "completed": 0, "resumed": 0, "failed": 0,
+        "retried": 0})
+    workers: dict = field(default_factory=lambda: {
+        "busy_seconds": {}, "utilization": 0.0})
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def save(self, path) -> None:
+        with open(path, "wt") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _TaskSpec:
+    """One unit of pool work: every pending cell of one matrix."""
+
+    entry: object                # CorpusEntry (matrix + metadata)
+    pending: frozenset           # cells still to compute
+
+
+@dataclass
+class _TaskOutcome:
+    records: list                # [(cell, MeasurementRecord), ...]
+    failures: list               # [FailedCell, ...]
+    timings: dict                # stage -> seconds
+    cache_stats: dict
+    retried: int
+    pid: int
+    busy_seconds: float
+
+
+@dataclass
+class _EngineConfig:
+    """Everything a worker needs; must be picklable for jobs > 1."""
+
+    architectures: list
+    orderings: list              # without "original"
+    kernels: tuple
+    seed: object
+    timeout: float | None
+    retries: int
+    cache_path: str | None
+    model_factory: object | None
+
+
+_WORKER_CONFIG: _EngineConfig | None = None
+
+
+def _pool_init(config: _EngineConfig) -> None:
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+
+
+def _pool_run(task: _TaskSpec) -> _TaskOutcome:
+    return _run_matrix_task(task, _WORKER_CONFIG)
+
+
+def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
+                     cache=None) -> _TaskOutcome:
+    """Compute every pending cell of one matrix.
+
+    The per-call cache means each (ordering, nparts) permutation is
+    computed once and reused across all architectures and kernels of
+    this matrix; with a disk-backed path it also persists across runs.
+    Tasks are disjoint by matrix, so concurrent workers never write the
+    same cache entry.
+    """
+    from .runner import OrderingCache  # local import: avoids a cycle
+
+    start = time.perf_counter()
+    if cache is None:
+        cache = OrderingCache(path=config.cache_path)
+    stats_before = dict(cache.stats)
+    factory = config.model_factory or PerfModel
+    entry = task.entry
+    a = entry.matrix
+    records: list = []
+    failures: list = []
+    timings = {"reorder": 0.0, "model_eval": 0.0}
+    retried = 0
+
+    def eval_cell(matrix, ordering_name, kernel, arch, model) -> None:
+        cell = (entry.name, ordering_name, kernel, arch.name)
+        if cell not in task.pending:
+            return
+        t0 = time.perf_counter()
+        try:
+            with _deadline(config.timeout):
+                rec = simulate_measurement(matrix, arch, kernel,
+                                           entry.name, ordering_name,
+                                           model=model)
+        except Exception as exc:  # noqa: BLE001 - fault isolation
+            failures.append(FailedCell(
+                matrix=entry.name, ordering=ordering_name, kernel=kernel,
+                architecture=arch.name, stage="model-eval",
+                error=type(exc).__name__, message=str(exc),
+                attempts=1, seconds=time.perf_counter() - t0))
+        else:
+            records.append((cell, rec))
+        finally:
+            timings["model_eval"] += time.perf_counter() - t0
+
+    for arch in config.architectures:
+        model = factory(arch)
+        for kernel in config.kernels:
+            eval_cell(a, "original", kernel, arch, model)
+        for name in config.orderings:
+            wanted = [k for k in config.kernels
+                      if (entry.name, name, k, arch.name) in task.pending]
+            if not wanted:
+                continue
+            t0 = time.perf_counter()
+            result = None
+            error = None
+            attempts = 0
+            for attempt in range(config.retries + 1):
+                attempts = attempt + 1
+                try:
+                    with _deadline(config.timeout):
+                        result = cache.get(a, entry.name, name,
+                                           nparts=arch.gp_parts,
+                                           seed=config.seed)
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    error = exc
+                    if attempt < config.retries:
+                        retried += 1
+            timings["reorder"] += time.perf_counter() - t0
+            if result is None:
+                for kernel in wanted:
+                    failures.append(FailedCell(
+                        matrix=entry.name, ordering=name, kernel=kernel,
+                        architecture=arch.name, stage="reorder",
+                        error=type(error).__name__, message=str(error),
+                        attempts=attempts,
+                        seconds=time.perf_counter() - t0))
+                continue
+            b = result.apply(a)
+            for kernel in wanted:
+                eval_cell(b, name, kernel, arch, model)
+
+    # report the *delta* so a cache shared across serial tasks is not
+    # double counted when the engine aggregates per-task stats
+    stats_after = cache.stats
+    delta = {k: stats_after.get(k, 0) - stats_before.get(k, 0)
+             for k in ("hits", "disk_hits", "misses", "requests")}
+    return _TaskOutcome(
+        records=records, failures=failures, timings=timings,
+        cache_stats=delta, retried=retried, pid=os.getpid(),
+        busy_seconds=time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class SweepEngine:
+    """Parallel, journaled, fault-tolerant sweep executor.
+
+    Parameters
+    ----------
+    corpus, architectures, orderings, kernels, cache, model_factory,
+    seed:
+        As in :func:`repro.harness.runner.run_sweep` (which is now a
+        thin serial wrapper over this class).
+    jobs:
+        Worker process count; ``1`` runs inline (no multiprocessing),
+        which also preserves the caller's in-memory ``cache`` and
+        allows non-picklable ``model_factory`` hooks.
+    journal_path:
+        JSONL checkpoint file.  ``None`` disables journaling.
+    resume:
+        Load the journal first and skip its completed cells.  The
+        journal's signature must match this sweep's configuration.
+    timeout:
+        Per-cell wall-clock budget in seconds (``None`` = unlimited).
+    retries:
+        Extra attempts for a failing/timed-out ordering computation.
+    progress:
+        Optional ``f(done, total, failed, elapsed)`` heartbeat callback,
+        invoked as tasks complete.
+    """
+
+    def __init__(self, corpus, architectures, orderings,
+                 kernels: tuple = ("1d", "2d"), cache=None,
+                 model_factory=None, seed=0, jobs: int = 1,
+                 journal_path: str | None = None, resume: bool = False,
+                 timeout: float | None = None, retries: int = 0,
+                 progress=None) -> None:
+        if jobs < 1:
+            raise HarnessError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise HarnessError(f"retries must be >= 0, got {retries}")
+        self.corpus = list(corpus)
+        self.architectures = list(architectures)
+        self.orderings = [o for o in orderings if o != "original"]
+        self.kernels = tuple(kernels)
+        self.cache = cache
+        self.model_factory = model_factory
+        self.seed = seed
+        self.jobs = jobs
+        self.journal_path = journal_path
+        self.resume = resume
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.metrics = SweepMetrics(jobs=jobs)
+
+    # -- cell enumeration ---------------------------------------------
+    def signature(self) -> dict:
+        return {
+            "corpus": [e.name for e in self.corpus],
+            "architectures": [a.name for a in self.architectures],
+            "orderings": list(self.orderings),
+            "kernels": list(self.kernels),
+            "seed": self.seed if isinstance(self.seed, int) else None,
+        }
+
+    def cells(self) -> list:
+        """Canonical cell order — identical to the legacy serial
+        runner's record order, so results assemble reproducibly no
+        matter which worker finished first."""
+        out = []
+        for arch in self.architectures:
+            for entry in self.corpus:
+                for kernel in self.kernels:
+                    out.append((entry.name, "original", kernel, arch.name))
+                for name in self.orderings:
+                    for kernel in self.kernels:
+                        out.append((entry.name, name, kernel, arch.name))
+        return out
+
+    # -- resume --------------------------------------------------------
+    def _load_checkpoint(self) -> dict:
+        if not (self.journal_path and self.resume
+                and os.path.exists(self.journal_path)):
+            return {}
+        signature, records, _old_failures = SweepJournal.load(
+            self.journal_path)
+        if signature != self.signature():
+            raise HarnessError(
+                f"{self.journal_path}: journal signature does not match "
+                "this sweep (different corpus/architectures/orderings/"
+                "kernels/seed); delete it or run without resume")
+        return records
+
+    # -- execution -----------------------------------------------------
+    def run(self):
+        from .runner import OrderingCache, SweepResult
+
+        t_start = time.perf_counter()
+        all_cells = self.cells()
+        completed = self._load_checkpoint()
+        # drop journal entries for cells not in this sweep's grid (the
+        # signature check makes this impossible, but stay defensive)
+        completed = {c: r for c, r in completed.items()
+                     if c in set(all_cells)}
+        self.metrics.cells["total"] = len(all_cells)
+        self.metrics.cells["resumed"] = len(completed)
+
+        journal = None
+        if self.journal_path:
+            journal = SweepJournal(self.journal_path, self.signature())
+            journal.open(append=self.resume)
+
+        pending = [c for c in all_cells if c not in completed]
+        by_matrix: dict = {}
+        for cell in pending:
+            by_matrix.setdefault(cell[0], set()).add(cell)
+        tasks = [_TaskSpec(entry=e, pending=frozenset(by_matrix[e.name]))
+                 for e in self.corpus if e.name in by_matrix]
+
+        config = _EngineConfig(
+            architectures=self.architectures, orderings=self.orderings,
+            kernels=self.kernels, seed=self.seed, timeout=self.timeout,
+            retries=self.retries,
+            cache_path=self.cache.path if self.cache is not None else None,
+            model_factory=self.model_factory)
+
+        failures: list = []
+        done_cells = len(completed)
+        busy: dict = {}
+
+        def consume(outcome: _TaskOutcome) -> None:
+            nonlocal done_cells
+            for cell, rec in outcome.records:
+                completed[cell] = rec
+                if journal is not None:
+                    journal.append_record(cell, rec)
+            for failure in outcome.failures:
+                failures.append(failure)
+                if journal is not None:
+                    journal.append_failure(failure)
+            done_cells += len(outcome.records) + len(outcome.failures)
+            for stage, secs in outcome.timings.items():
+                self.metrics.stages[stage] = (
+                    self.metrics.stages.get(stage, 0.0) + secs)
+            self.metrics.cells["retried"] += outcome.retried
+            self._merge_cache_stats(outcome.cache_stats)
+            busy[outcome.pid] = (busy.get(outcome.pid, 0.0)
+                                 + outcome.busy_seconds)
+            if self.progress is not None:
+                self.progress(done_cells, len(all_cells), len(failures),
+                              time.perf_counter() - t_start)
+
+        try:
+            if self.jobs == 1 or len(tasks) <= 1:
+                cache = self.cache or OrderingCache()
+                self.cache = cache
+                for task in tasks:
+                    consume(_run_matrix_task(task, config, cache=cache))
+            else:
+                with multiprocessing.Pool(
+                        processes=min(self.jobs, len(tasks)),
+                        initializer=_pool_init,
+                        initargs=(config,)) as pool:
+                    for outcome in pool.imap_unordered(_pool_run, tasks):
+                        consume(outcome)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        wall = time.perf_counter() - t_start
+        self.metrics.wall_seconds = wall
+        self.metrics.cells["completed"] = len(completed)
+        self.metrics.cells["failed"] = len(failures)
+        self.metrics.workers["busy_seconds"] = {
+            str(pid): round(secs, 6) for pid, secs in busy.items()}
+        denom = wall * max(1, min(self.jobs, max(1, len(tasks))))
+        self.metrics.workers["utilization"] = (
+            sum(busy.values()) / denom if denom > 0 else 0.0)
+
+        result = SweepResult(failed=failures)
+        for cell in all_cells:
+            if cell in completed:
+                result.add(completed[cell])
+        return result
+
+    def _merge_cache_stats(self, stats: dict) -> None:
+        agg = self.metrics.cache
+        for key in ("hits", "disk_hits", "misses", "requests"):
+            agg[key] = agg.get(key, 0) + stats.get(key, 0)
+        total = agg.get("requests", 0)
+        agg["hit_rate"] = ((agg.get("hits", 0) + agg.get("disk_hits", 0))
+                           / total if total else 0.0)

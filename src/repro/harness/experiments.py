@@ -59,13 +59,22 @@ class SpeedupStudy:
 
 
 def experiment_speedups(sweep: SweepResult, architectures,
-                        kernel: str) -> SpeedupStudy:
-    """Figures 2/3 + Tables 3/4 from a completed sweep."""
+                        kernel: str,
+                        allow_partial: bool = False) -> SpeedupStudy:
+    """Figures 2/3 + Tables 3/4 from a completed sweep.
+
+    ``allow_partial=True`` tolerates a fault-tolerant engine run whose
+    failed cells left some (arch, ordering) combinations without
+    records: those combinations are skipped instead of raising, and
+    per-matrix gaps shrink the distribution they belong to.
+    """
     study = SpeedupStudy(kernel=kernel)
     for arch in architectures:
         for o in REORDERINGS:
             sp = sweep.speedups(o, kernel, arch)
             if sp.size == 0:
+                if allow_partial:
+                    continue
                 raise HarnessError(
                     f"sweep holds no records for {o}/{kernel}/{arch}")
             study.raw[(arch, o)] = sp

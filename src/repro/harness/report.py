@@ -102,6 +102,40 @@ def render_overhead_table(rows: list) -> str:
             "implementations)\n" + format_table(headers, fmt_rows))
 
 
+def render_sweep_summary(metrics, failed=(), max_failures: int = 10) -> str:
+    """Human-readable digest of a :class:`~repro.harness.engine.
+    SweepMetrics` (or its ``to_dict()``), plus the first few
+    :class:`~repro.harness.engine.FailedCell` rows if any."""
+    m = metrics if isinstance(metrics, dict) else metrics.to_dict()
+    cells, stages = m["cells"], m["stages"]
+    cache = m.get("cache") or {}
+    lines = [
+        "sweep summary",
+        f"  cells      {cells['completed']}/{cells['total']} completed "
+        f"({cells['resumed']} resumed, {cells['failed']} failed, "
+        f"{cells['retried']} retries)",
+        f"  wall       {m['wall_seconds']:.2f}s with {m['jobs']} job(s), "
+        f"worker utilization {m['workers']['utilization'] * 100:.0f}%",
+        "  stages     " + ", ".join(
+            f"{name} {secs:.2f}s" for name, secs in sorted(stages.items())),
+    ]
+    if cache:
+        lines.append(
+            f"  cache      {cache.get('hits', 0)} hits + "
+            f"{cache.get('disk_hits', 0)} disk hits / "
+            f"{cache.get('requests', 0)} requests "
+            f"(hit rate {cache.get('hit_rate', 0.0) * 100:.0f}%)")
+    if failed:
+        lines.append(f"  failures   ({min(len(failed), max_failures)} of "
+                     f"{len(failed)} shown)")
+        for f in list(failed)[:max_failures]:
+            lines.append(
+                f"    {f.matrix}/{f.ordering}/{f.kernel}/"
+                f"{f.architecture}: {f.stage} {f.error} after "
+                f"{f.attempts} attempt(s): {f.message}")
+    return "\n".join(lines)
+
+
 def render_two_d_vs_one_d(ratios: np.ndarray, arch: str) -> str:
     q1, med, q3 = np.percentile(ratios, [25, 50, 75])
     return (f"2D vs 1D on {arch}: median {med:.2f}x, quartiles "

@@ -6,31 +6,38 @@ part-count) triple recurs across the eight architectures and the two
 kernels.  :class:`OrderingCache` memoises permutations in memory and
 optionally on disk (``.npz`` per corpus), so a full 8-architecture
 sweep costs one ordering pass.
+
+Execution itself lives in :mod:`repro.harness.engine`:
+:func:`run_sweep` is a backwards-compatible wrapper over
+:class:`~repro.harness.engine.SweepEngine`, which adds process-pool
+fan-out, JSONL checkpointing with resume, per-cell timeouts with
+bounded retries, and a metrics artifact.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..generators.suite import CorpusEntry
-from ..machine.arch import Architecture
-from ..machine.bench import MeasurementRecord, simulate_measurement
-from ..machine.model import PerfModel
+from ..errors import HarnessError
+from ..machine.bench import MeasurementRecord
 from ..matrix.csr import CSRMatrix
 from ..reorder import compute_ordering
 from ..reorder.perm import OrderingResult
 
 
 class OrderingCache:
-    """Memoises (matrix-name, ordering, nparts) → OrderingResult.
+    """Memoises (matrix, ordering, nparts, seed) → OrderingResult.
 
     ``path`` enables disk persistence: each cached permutation is stored
-    in one ``.npz`` with its timing metadata.  Matrices are keyed by
-    name — callers are responsible for name uniqueness within a corpus
-    (which :func:`repro.generators.build_corpus` guarantees).
+    in one ``.npz`` with its timing metadata.  Keys fold in the matrix
+    name, its shape and nnz, a CRC of the sparsity structure, and the
+    seed, so two corpora that reuse a name — or regenerate it with a
+    different seed or structure — can never alias to a stale
+    permutation.
 
     ``stats`` exposes hit/miss counters so downstream consumers (the
     advisor's serving cache, the benchmark harness) can observe how
@@ -60,21 +67,34 @@ class OrderingCache:
         }
 
     @staticmethod
-    def _key(a: CSRMatrix, matrix_name: str, ordering: str,
-             nparts: int) -> str:
+    def _fingerprint(a: CSRMatrix) -> int:
+        """A cheap CRC of the sparsity structure (not the values —
+        orderings are structural).  Guards against two same-shaped,
+        same-nnz matrices sharing a name across corpora."""
+        crc = zlib.crc32(np.ascontiguousarray(
+            a.rowptr, dtype=np.int64).tobytes())
+        return zlib.crc32(np.ascontiguousarray(
+            a.colidx, dtype=np.int64).tobytes(), crc)
+
+    @classmethod
+    def _key(cls, a: CSRMatrix, matrix_name: str, ordering: str,
+             nparts: int, seed=0) -> str:
         # Only GP depends on nparts; normalise all other orderings so
-        # they share cache entries.  Shape and nnz are part of the key
-        # so regenerating a named matrix at a different scale can never
-        # hit a stale permutation.
+        # they share cache entries.  Shape, nnz, the structure CRC and
+        # the seed are part of the key so regenerating a named matrix
+        # at a different scale, with different structure, or under a
+        # different seed can never hit a stale permutation.
         if ordering != "GP":
             nparts = 0
+        seed_tag = seed if isinstance(seed, int) else "rng"
         return (f"{matrix_name}__{a.nrows}x{a.ncols}_{a.nnz}"
-                f"__{ordering}__{nparts}")
+                f"_{cls._fingerprint(a):08x}__{ordering}__{nparts}"
+                f"__s{seed_tag}")
 
     def get(self, a: CSRMatrix, matrix_name: str, ordering: str,
             nparts: int = 64, seed=0) -> OrderingResult:
         """Return the cached ordering, computing it on a miss."""
-        key = self._key(a, matrix_name, ordering, nparts)
+        key = self._key(a, matrix_name, ordering, nparts, seed)
         if key in self._memory:
             self._hits += 1
             return self._memory[key]
@@ -115,12 +135,24 @@ class OrderingCache:
 
 @dataclass
 class SweepResult:
-    """All measurement records of a sweep, with lookup helpers."""
+    """All measurement records of a sweep, with lookup helpers.
+
+    ``failed`` holds the structured :class:`~repro.harness.engine.
+    FailedCell` rows of cells the engine could not complete; consumers
+    that replay sweeps (the advisor dataset builder, the artifact
+    writer) must treat a missing record as "that cell failed", not as
+    a bug.
+    """
 
     records: list = field(default_factory=list)
+    failed: list = field(default_factory=list)
 
     def add(self, rec: MeasurementRecord) -> None:
         self.records.append(rec)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
 
     def lookup(self, matrix: str, ordering: str, kernel: str,
                architecture: str) -> MeasurementRecord:
@@ -156,8 +188,11 @@ class SweepResult:
 
 def run_sweep(corpus: list, architectures: list, orderings: list,
               kernels: tuple = ("1d", "2d"), cache: OrderingCache | None = None,
-              model_factory=None, seed=0) -> SweepResult:
-    """Run the full measurement sweep.
+              model_factory=None, seed=0, jobs: int = 1,
+              journal_path: str | None = None, resume: bool = False,
+              timeout: float | None = None, retries: int = 0,
+              strict: bool = True, progress=None) -> SweepResult:
+    """Run the full measurement sweep through the sweep engine.
 
     Parameters
     ----------
@@ -170,24 +205,31 @@ def run_sweep(corpus: list, architectures: list, orderings: list,
         baseline is always measured).
     model_factory:
         Optional ``arch -> PerfModel`` hook (ablations override this).
+        Must be picklable when ``jobs > 1``.
+    jobs, journal_path, resume, timeout, retries, progress:
+        Fan-out / checkpoint / fault-tolerance knobs, forwarded to
+        :class:`repro.harness.engine.SweepEngine`.
+    strict:
+        When True (the default, matching the historical serial runner)
+        any :class:`FailedCell` is escalated to a
+        :class:`~repro.errors.HarnessError` after the sweep finishes.
+        Pass ``strict=False`` to get the fault-tolerant behaviour: the
+        failures stay on ``SweepResult.failed`` and the records of
+        every other cell are returned.
     """
-    cache = cache or OrderingCache()
-    if model_factory is None:
-        model_factory = PerfModel
-    result = SweepResult()
-    orderings = [o for o in orderings if o != "original"]
-    for arch in architectures:
-        model = model_factory(arch)
-        for entry in corpus:
-            a = entry.matrix
-            for kernel in kernels:
-                result.add(simulate_measurement(
-                    a, arch, kernel, entry.name, "original", model=model))
-            for name in orderings:
-                r = cache.get(a, entry.name, name, nparts=arch.gp_parts,
-                              seed=seed)
-                b = r.apply(a)
-                for kernel in kernels:
-                    result.add(simulate_measurement(
-                        b, arch, kernel, entry.name, name, model=model))
+    from .engine import SweepEngine
+
+    engine = SweepEngine(
+        corpus, architectures, orderings, kernels=kernels, cache=cache,
+        model_factory=model_factory, seed=seed, jobs=jobs,
+        journal_path=journal_path, resume=resume, timeout=timeout,
+        retries=retries, progress=progress)
+    result = engine.run()
+    if strict and result.failed:
+        first = result.failed[0]
+        raise HarnessError(
+            f"{len(result.failed)} sweep cell(s) failed; first: "
+            f"{first.matrix}/{first.ordering}/{first.kernel}/"
+            f"{first.architecture} at {first.stage}: {first.error}: "
+            f"{first.message} (pass strict=False to tolerate failures)")
     return result

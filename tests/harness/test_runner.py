@@ -111,6 +111,53 @@ def test_ordering_cache_stats_disk(tiny_corpus, tmp_path):
     assert s["disk_hits"] == 1 and s["hits"] == 1 and s["misses"] == 0
 
 
+def test_ordering_cache_key_folds_in_shape_and_nnz(tmp_path):
+    """Regression: two corpora sharing a matrix *name* but different
+    dimensions/nnz must never alias to the same cached permutation."""
+    from repro.generators import stencil_2d
+
+    small = stencil_2d(5, 5, seed=0)
+    large = stencil_2d(9, 9, seed=0)
+    cache = OrderingCache(path=str(tmp_path))
+    r_small = cache.get(small, "shared_name", "RCM")
+    r_large = cache.get(large, "shared_name", "RCM")
+    assert cache.stats["misses"] == 2  # no alias
+    assert r_small.n == small.nrows and r_large.n == large.nrows
+    # and the disk entries are distinct files
+    assert len(list(tmp_path.glob("*.npz"))) == 2
+
+
+def test_ordering_cache_key_folds_in_structure():
+    """Same name, same shape, same nnz, different sparsity structure:
+    the CRC fingerprint must keep the entries apart."""
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    def diag_like(cols):
+        rows = np.arange(4)
+        return csr_from_coo(coo_from_arrays(
+            4, 4, rows, np.array(cols), np.ones(4)))
+
+    a = diag_like([0, 1, 2, 3])
+    b = diag_like([1, 0, 3, 2])
+    assert (a.nrows, a.ncols, a.nnz) == (b.nrows, b.ncols, b.nnz)
+    cache = OrderingCache()
+    cache.get(a, "same", "Gray")
+    cache.get(b, "same", "Gray")
+    assert cache.stats["misses"] == 2
+
+
+def test_ordering_cache_key_folds_in_seed(tiny_corpus):
+    """A seed-dependent ordering computed under two seeds must occupy
+    two cache entries."""
+    e = tiny_corpus[0]
+    cache = OrderingCache()
+    cache.get(e.matrix, e.name, "GP", nparts=4, seed=0)
+    cache.get(e.matrix, e.name, "GP", nparts=4, seed=1)
+    assert cache.stats["misses"] == 2
+    cache.get(e.matrix, e.name, "GP", nparts=4, seed=0)
+    assert cache.stats["hits"] == 1
+
+
 def test_ordering_cache_survives_corrupt_disk_entry(tiny_corpus, tmp_path):
     e = tiny_corpus[0]
     c1 = OrderingCache(path=str(tmp_path))

@@ -1,0 +1,98 @@
+"""Property-based permutation tests for every registered ordering.
+
+Deterministically seeded through :func:`repro.util.rng.as_rng` (no
+hypothesis dependency): each property is checked for every ordering in
+the registry over a small multi-family corpus, so a new ordering
+implementation is automatically held to the same invariants:
+
+* the result is a true permutation — bijective, length ``nrows``;
+* applying it preserves the nonzero multiset (values, and row-length
+  distribution for symmetric orderings);
+* a follow-up identity pass is a no-op (idempotence of application).
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    banded_matrix,
+    circuit_matrix,
+    fem_mesh_2d,
+    powerlaw_graph,
+    random_er,
+    stencil_2d,
+)
+from repro.reorder import compute_ordering
+from repro.reorder.perm import identity_ordering
+from repro.reorder.registry import ORDERING_FUNCS
+from repro.util.rng import as_rng
+
+SEED = 20260806
+ALL_REGISTERED = tuple(ORDERING_FUNCS)
+
+
+def _corpus():
+    """One small matrix per structural family (seeded, deterministic)."""
+    rng = as_rng(SEED)
+
+    def child_seed():
+        return int(rng.integers(0, 2**31 - 1))
+
+    return [
+        ("stencil", stencil_2d(7, 6, seed=child_seed())),
+        ("fem", fem_mesh_2d(40, seed=child_seed())),
+        ("powerlaw", powerlaw_graph(48, m=3, seed=child_seed())),
+        ("er", random_er(36, avg_degree=5.0, seed=child_seed())),
+        ("banded", banded_matrix(32, bandwidth=4, seed=child_seed())),
+        ("circuit", circuit_matrix(44, nblocks=5, seed=child_seed())),
+    ]
+
+
+CORPUS = _corpus()
+
+
+@pytest.mark.parametrize("ordering", ALL_REGISTERED)
+@pytest.mark.parametrize("family,matrix", CORPUS,
+                         ids=[c[0] for c in CORPUS])
+def test_result_is_true_permutation(family, matrix, ordering):
+    r = compute_ordering(matrix, ordering, nparts=4, seed=SEED)
+    assert r.perm.shape == (matrix.nrows,)
+    assert r.perm.dtype == np.int64
+    # bijective onto range(n): every row index appears exactly once
+    assert np.array_equal(np.sort(r.perm), np.arange(matrix.nrows))
+
+
+@pytest.mark.parametrize("ordering", ALL_REGISTERED)
+@pytest.mark.parametrize("family,matrix", CORPUS,
+                         ids=[c[0] for c in CORPUS])
+def test_application_preserves_nonzero_multiset(family, matrix, ordering):
+    r = compute_ordering(matrix, ordering, nparts=4, seed=SEED)
+    b = r.apply(matrix)
+    assert b.nnz == matrix.nnz
+    assert b.shape == matrix.shape
+    assert np.allclose(np.sort(b.values), np.sort(matrix.values))
+    if r.symmetric:
+        # PAPᵀ permutes rows and columns together: the row-length
+        # multiset survives even though individual rows move
+        assert (sorted(b.row_lengths().tolist())
+                == sorted(matrix.row_lengths().tolist()))
+
+
+@pytest.mark.parametrize("ordering", ALL_REGISTERED)
+@pytest.mark.parametrize("family,matrix", CORPUS,
+                         ids=[c[0] for c in CORPUS])
+def test_identity_pass_is_idempotent(family, matrix, ordering):
+    r = compute_ordering(matrix, ordering, nparts=4, seed=SEED)
+    b = r.apply(matrix)
+    c = identity_ordering(b.nrows).apply(b)
+    assert np.array_equal(c.rowptr, b.rowptr)
+    assert np.array_equal(c.colidx, b.colidx)
+    assert np.array_equal(c.values, b.values)
+
+
+@pytest.mark.parametrize("ordering", ALL_REGISTERED)
+def test_ordering_is_deterministic_under_a_fixed_seed(ordering):
+    _, matrix = CORPUS[0]
+    r1 = compute_ordering(matrix, ordering, nparts=4, seed=SEED)
+    r2 = compute_ordering(matrix, ordering, nparts=4, seed=SEED)
+    assert np.array_equal(r1.perm, r2.perm)
