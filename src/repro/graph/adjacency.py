@@ -79,7 +79,23 @@ class Graph:
         return self.adjncy.size // 2
 
     def degrees(self) -> np.ndarray:
-        return np.diff(self.xadj)
+        """Vertex degrees, memoised on first call (read-only array).
+
+        Every BFS of the RCM/GPS/peripheral machinery re-derived this
+        from ``xadj``; the adjacency is immutable, so one shared copy
+        serves them all.
+        """
+        cached = getattr(self, "_cache_degrees", None)
+        if cached is None:
+            cached = np.diff(self.xadj)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_cache_degrees", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Drop memoised derivatives from the pickled state."""
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_cache_")}
 
     def neighbours(self, v: int) -> np.ndarray:
         return self.adjncy[self.xadj[v]:self.xadj[v + 1]]

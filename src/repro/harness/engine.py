@@ -16,9 +16,16 @@ kernel) grid; :class:`SweepEngine` executes that grid
   structured :class:`FailedCell` and the sweep keeps going.
 
 Observability is threaded through the run: per-stage wall-clock
-timings (reorder / model-eval), cache hit-rate snapshots, worker
-utilization and cell counters are collected into a
-:class:`SweepMetrics` that serialises to ``sweep_metrics.json``.
+timings (reorder / reuse-stats / model-eval), cache hit-rate
+snapshots, model-statistics reuse counters, worker utilization and
+cell counters are collected into a :class:`SweepMetrics` that
+serialises to ``sweep_metrics.json``.
+
+Within one matrix the task loop is *ordering-outer*: each (ordering,
+nparts) permutation is computed once, and the reordered matrix —
+together with its memoised :class:`~repro.machine.reuse.ReuseStats`
+and thread schedules — is shared across every architecture and kernel
+cell evaluated on it (see docs/perfmodel.md).
 """
 
 from __future__ import annotations
@@ -33,10 +40,22 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 
 from ..errors import HarnessError
+from ..machine import reuse as _reuse_mod
 from ..machine.bench import MeasurementRecord, simulate_measurement
 from ..machine.model import PerfModel
+from ..machine.reuse import ReuseStats
+from ..spmv import schedule as _schedule_mod
 
 JOURNAL_VERSION = 1
+
+
+def _model_counters() -> dict:
+    """Current model-statistics cache counters as one flat dict
+    (reuse builds/hits + schedule builds/hits); tasks snapshot the
+    values before/after and report the delta."""
+    counters = dict(_reuse_mod.COUNTERS)
+    counters.update(_schedule_mod.COUNTERS)
+    return counters
 
 
 class CellTimeout(HarnessError):
@@ -200,8 +219,12 @@ class SweepMetrics:
     jobs: int = 1
     wall_seconds: float = 0.0
     stages: dict = field(default_factory=lambda: {
-        "generate": 0.0, "reorder": 0.0, "model_eval": 0.0})
+        "generate": 0.0, "reorder": 0.0, "reuse_stats": 0.0,
+        "model_eval": 0.0})
     cache: dict = field(default_factory=dict)
+    model_stats: dict = field(default_factory=lambda: {
+        "reuse_builds": 0, "reuse_hits": 0,
+        "schedule_builds": 0, "schedule_hits": 0})
     cells: dict = field(default_factory=lambda: {
         "total": 0, "completed": 0, "resumed": 0, "failed": 0,
         "retried": 0})
@@ -234,6 +257,7 @@ class _TaskOutcome:
     failures: list               # [FailedCell, ...]
     timings: dict                # stage -> seconds
     cache_stats: dict
+    model_stats: dict            # reuse/schedule counter deltas
     retried: int
     pid: int
     busy_seconds: float
@@ -269,11 +293,15 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
                      cache=None) -> _TaskOutcome:
     """Compute every pending cell of one matrix.
 
-    The per-call cache means each (ordering, nparts) permutation is
-    computed once and reused across all architectures and kernels of
-    this matrix; with a disk-backed path it also persists across runs.
-    Tasks are disjoint by matrix, so concurrent workers never write the
-    same cache entry.
+    The loop is ordering-outer: each (ordering, nparts) permutation is
+    computed once (with a disk-backed cache it also persists across
+    runs) and the reordered matrix is then evaluated for *every*
+    architecture and kernel in one pass, so its memoised reuse
+    statistics and thread schedules are shared across all of those
+    cells.  Only GP splits into per-``gp_parts`` architecture groups
+    (its permutation depends on the part count); every other ordering
+    forms a single group.  Tasks are disjoint by matrix, so concurrent
+    workers never write the same cache entry.
     """
     from .runner import OrderingCache  # local import: avoids a cycle
 
@@ -281,43 +309,67 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
     if cache is None:
         cache = OrderingCache(path=config.cache_path)
     stats_before = dict(cache.stats)
+    model_before = _model_counters()
     factory = config.model_factory or PerfModel
     entry = task.entry
     a = entry.matrix
     records: list = []
     failures: list = []
-    timings = {"reorder": 0.0, "model_eval": 0.0}
+    timings = {"reorder": 0.0, "reuse_stats": 0.0, "model_eval": 0.0}
     retried = 0
+    models = [(arch, factory(arch)) for arch in config.architectures]
 
-    def eval_cell(matrix, ordering_name, kernel, arch, model) -> None:
-        cell = (entry.name, ordering_name, kernel, arch.name)
-        if cell not in task.pending:
+    def eval_cells(matrix, ordering_name, group) -> None:
+        """Evaluate every pending (arch, kernel) cell of one reordered
+        matrix, with one shared reuse-statistics pass."""
+        wanted = [(arch, model, kernel) for arch, model in group
+                  for kernel in config.kernels
+                  if (entry.name, ordering_name, kernel,
+                      arch.name) in task.pending]
+        if not wanted:
             return
-        t0 = time.perf_counter()
-        try:
-            with _deadline(config.timeout):
-                rec = simulate_measurement(matrix, arch, kernel,
-                                           entry.name, ordering_name,
-                                           model=model)
-        except Exception as exc:  # noqa: BLE001 - fault isolation
-            failures.append(FailedCell(
-                matrix=entry.name, ordering=ordering_name, kernel=kernel,
-                architecture=arch.name, stage="model-eval",
-                error=type(exc).__name__, message=str(exc),
-                attempts=1, seconds=time.perf_counter() - t0))
-        else:
-            records.append((cell, rec))
-        finally:
-            timings["model_eval"] += time.perf_counter() - t0
+        reuse = None
+        if any(model.fastpath for _, model, _ in wanted):
+            # materialise the shared statistics up front so their cost
+            # lands in the reuse_stats stage, not a random first cell
+            hot_lines = sorted({arch.line_size // 8
+                                for arch, model, _ in wanted
+                                if model.fastpath and model.locality_term})
+            t0 = time.perf_counter()
+            reuse = ReuseStats.for_matrix(matrix)
+            reuse.prepare(hot_lines if matrix.nnz else ())
+            timings["reuse_stats"] += time.perf_counter() - t0
+        for arch, model, kernel in wanted:
+            cell = (entry.name, ordering_name, kernel, arch.name)
+            t0 = time.perf_counter()
+            try:
+                with _deadline(config.timeout):
+                    rec = simulate_measurement(
+                        matrix, arch, kernel, entry.name, ordering_name,
+                        model=model,
+                        reuse=reuse if model.fastpath else None)
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                failures.append(FailedCell(
+                    matrix=entry.name, ordering=ordering_name,
+                    kernel=kernel, architecture=arch.name,
+                    stage="model-eval", error=type(exc).__name__,
+                    message=str(exc), attempts=1,
+                    seconds=time.perf_counter() - t0))
+            else:
+                records.append((cell, rec))
+            finally:
+                timings["model_eval"] += time.perf_counter() - t0
 
-    for arch in config.architectures:
-        model = factory(arch)
-        for kernel in config.kernels:
-            eval_cell(a, "original", kernel, arch, model)
-        for name in config.orderings:
-            wanted = [k for k in config.kernels
-                      if (entry.name, name, k, arch.name) in task.pending]
-            if not wanted:
+    eval_cells(a, "original", models)
+    for name in config.orderings:
+        groups: dict = {}
+        for arch, model in models:
+            key = arch.gp_parts if name == "GP" else 0
+            groups.setdefault(key, []).append((arch, model))
+        for group in groups.values():
+            group_cells = [(entry.name, name, kernel, arch.name)
+                           for arch, _ in group for kernel in config.kernels]
+            if not any(c in task.pending for c in group_cells):
                 continue
             t0 = time.perf_counter()
             result = None
@@ -328,7 +380,7 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
                 try:
                     with _deadline(config.timeout):
                         result = cache.get(a, entry.name, name,
-                                           nparts=arch.gp_parts,
+                                           nparts=group[0][0].gp_parts,
                                            seed=config.seed)
                     break
                 except Exception as exc:  # noqa: BLE001
@@ -337,27 +389,30 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
                         retried += 1
             timings["reorder"] += time.perf_counter() - t0
             if result is None:
-                for kernel in wanted:
+                for cell in group_cells:
+                    if cell not in task.pending:
+                        continue
                     failures.append(FailedCell(
-                        matrix=entry.name, ordering=name, kernel=kernel,
-                        architecture=arch.name, stage="reorder",
+                        matrix=entry.name, ordering=name, kernel=cell[2],
+                        architecture=cell[3], stage="reorder",
                         error=type(error).__name__, message=str(error),
                         attempts=attempts,
                         seconds=time.perf_counter() - t0))
                 continue
-            b = result.apply(a)
-            for kernel in wanted:
-                eval_cell(b, name, kernel, arch, model)
+            eval_cells(result.apply(a), name, group)
 
-    # report the *delta* so a cache shared across serial tasks is not
-    # double counted when the engine aggregates per-task stats
+    # report *deltas* so caches/counters shared across serial tasks are
+    # not double counted when the engine aggregates per-task stats
     stats_after = cache.stats
     delta = {k: stats_after.get(k, 0) - stats_before.get(k, 0)
              for k in ("hits", "disk_hits", "misses", "requests")}
+    model_after = _model_counters()
+    model_delta = {k: model_after[k] - model_before.get(k, 0)
+                   for k in model_after}
     return _TaskOutcome(
         records=records, failures=failures, timings=timings,
-        cache_stats=delta, retried=retried, pid=os.getpid(),
-        busy_seconds=time.perf_counter() - start)
+        cache_stats=delta, model_stats=model_delta, retried=retried,
+        pid=os.getpid(), busy_seconds=time.perf_counter() - start)
 
 
 # ----------------------------------------------------------------------
@@ -506,6 +561,9 @@ class SweepEngine:
                     self.metrics.stages.get(stage, 0.0) + secs)
             self.metrics.cells["retried"] += outcome.retried
             self._merge_cache_stats(outcome.cache_stats)
+            for key, val in outcome.model_stats.items():
+                self.metrics.model_stats[key] = (
+                    self.metrics.model_stats.get(key, 0) + val)
             busy[outcome.pid] = (busy.get(outcome.pid, 0.0)
                                  + outcome.busy_seconds)
             if self.progress is not None:

@@ -23,9 +23,10 @@ comparable.
 
 from .arch import Architecture, TABLE2, get_architecture, architecture_names
 from .cache import LRUCache
-from .model import PerfModel, SpmvPrediction
+from .model import PerfModel, SpmvPrediction, predict_many
 from .numa import NumaModel
-from .bench import MeasurementRecord, simulate_measurement
+from .reuse import ReuseStats
+from .bench import MeasurementRecord, simulate_many, simulate_measurement
 
 __all__ = [
     "Architecture",
@@ -35,7 +36,10 @@ __all__ = [
     "LRUCache",
     "PerfModel",
     "NumaModel",
+    "ReuseStats",
     "SpmvPrediction",
     "MeasurementRecord",
+    "predict_many",
+    "simulate_many",
     "simulate_measurement",
 ]

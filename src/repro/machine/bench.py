@@ -21,9 +21,10 @@ import numpy as np
 
 from ..errors import ScheduleError
 from ..matrix.csr import CSRMatrix
-from ..spmv.schedule import schedule_1d, schedule_2d
+from ..spmv.schedule import get_schedule, schedule_1d, schedule_2d
 from .arch import Architecture
 from .model import PerfModel
+from .reuse import ReuseStats
 
 #: modelled relative gap between best-of-100 and mean-of-97 performance
 MEAN_PERF_FACTOR = 0.97
@@ -56,16 +57,28 @@ class MeasurementRecord:
 
 def simulate_measurement(a: CSRMatrix, arch: Architecture, kernel: str,
                          matrix_name: str = "", ordering_name: str = "",
-                         model: PerfModel | None = None) -> MeasurementRecord:
-    """Run the model on ``a`` and package the artifact-shaped record."""
-    if kernel == "1d":
-        schedule = schedule_1d(a, arch.threads)
-    elif kernel == "2d":
-        schedule = schedule_2d(a, arch.threads)
-    else:
+                         model: PerfModel | None = None,
+                         reuse: ReuseStats | None = None) -> MeasurementRecord:
+    """Run the model on ``a`` and package the artifact-shaped record.
+
+    ``reuse`` optionally threads precomputed per-(matrix, ordering)
+    statistics through to the model so batched callers (the sweep
+    engine, :func:`simulate_many`) share one statistics pass across
+    all architectures and kernels.  With a fast-path model the thread
+    schedule is likewise served from the per-matrix schedule cache; a
+    ``fastpath=False`` reference model keeps the historical
+    rebuild-per-call behaviour (the fast-path benchmark times both).
+    """
+    if kernel not in ("1d", "2d"):
         raise ScheduleError(f"unknown kernel {kernel!r}")
     model = model if model is not None else PerfModel(arch)
-    pred = model.predict(a, schedule)
+    if model.fastpath:
+        schedule = get_schedule(a, kernel, arch.threads)
+    elif kernel == "1d":
+        schedule = schedule_1d(a, arch.threads)
+    else:
+        schedule = schedule_2d(a, arch.threads)
+    pred = model.predict(a, schedule, reuse=reuse)
     per_thread = schedule.nnz_per_thread()
     mean = float(per_thread.mean()) if per_thread.size else 0.0
     imb = float(per_thread.max() / mean) if mean else 1.0
@@ -83,3 +96,21 @@ def simulate_measurement(a: CSRMatrix, arch: Architecture, kernel: str,
         gflops_max=pred.gflops,
         gflops_mean=pred.gflops * MEAN_PERF_FACTOR,
     )
+
+
+def simulate_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
+                  matrix_name: str = "", ordering_name: str = "",
+                  model_factory=None) -> list:
+    """Batched :func:`simulate_measurement` over architectures × kernels.
+
+    One :class:`ReuseStats` pass serves every cell, and schedules are
+    shared between architectures with equal core counts.  Records come
+    back in (architecture, kernel) iteration order and are bit-identical
+    to per-cell ``simulate_measurement`` calls.
+    """
+    factory = model_factory or PerfModel
+    reuse = ReuseStats.for_matrix(a)
+    return [simulate_measurement(a, arch, kernel, matrix_name,
+                                 ordering_name, model=factory(arch),
+                                 reuse=reuse)
+            for arch in architectures for kernel in kernels]

@@ -48,8 +48,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..matrix.csr import CSRMatrix
-from ..spmv.schedule import Schedule
+from ..spmv.schedule import Schedule, get_schedule
 from .arch import Architecture
+from .reuse import (
+    ReuseStats,
+    distinct_count,
+    prev_occurrence,
+    windowed_distinct_loads,
+)
 
 #: bytes per stored nonzero streamed each iteration: 8 (value) + 4
 #: (column index, 32-bit as in the paper §4.1)
@@ -127,15 +133,24 @@ class PerfModel:
         mean.
     cache_scale:
         Cache size scale-down matching the corpus scale-down.
+    fastpath:
+        Serve the x-traffic and branch-irregularity statistics from the
+        memoised per-matrix :class:`~repro.machine.reuse.ReuseStats`
+        (and schedules from the per-matrix schedule cache).  The
+        predictions are bit-identical either way; ``False`` keeps the
+        original per-cell recomputation as a reference implementation
+        for the golden-equivalence tests and the fast-path benchmark.
     """
 
     def __init__(self, arch: Architecture, locality_term: bool = True,
                  imbalance_term: bool = True,
-                 cache_scale: float = DEFAULT_CACHE_SCALE) -> None:
+                 cache_scale: float = DEFAULT_CACHE_SCALE,
+                 fastpath: bool = True) -> None:
         self.arch = arch
         self.locality_term = locality_term
         self.imbalance_term = imbalance_term
         self.cache_scale = cache_scale
+        self.fastpath = fastpath
         self._cpi = _CPI_FLOP[arch.isa]
         self._row_cycles = _CYCLES_PER_ROW[arch.isa]
         self._mispredict = _MISPREDICT_CYCLES[arch.isa]
@@ -165,7 +180,49 @@ class PerfModel:
     # ------------------------------------------------------------------
     def _x_line_loads(self, cols: np.ndarray) -> int:
         """Modelled x line fetches (beyond L1/L2) for one thread's
-        column-index stream, via the windowed working-set model."""
+        column-index stream, via the windowed working-set model.
+
+        One-shot entry point (used by the model/simulator validation
+        probe): builds the previous-occurrence array for this stream
+        and delegates to the shared vectorised implementation."""
+        if cols.size == 0:
+            return 0
+        if not self.locality_term:
+            return int(cols.size)
+        lines = cols // (self.arch.line_size // 8)
+        return self._loads_from_prev(prev_occurrence(lines), 0, cols.size)
+
+    def _loads_from_prev(self, prev: np.ndarray, lo: int, hi: int,
+                         reuse: ReuseStats | None = None) -> int:
+        """Windowed working-set loads for stream positions [lo, hi),
+        from the previous-occurrence array — bit-identical to (and the
+        vectorised O(nnz) replacement of) the historical per-window
+        ``np.unique`` loop kept in :meth:`_x_line_loads_loop`."""
+        n = hi - lo
+        if n == 0:
+            return 0
+        if not self.locality_term:
+            return int(n)
+        capacity_lines = self._l2_lines()
+        distinct_total = distinct_count(prev, lo, hi)
+        if distinct_total <= capacity_lines:
+            return distinct_total
+        # capacity regime: estimate how many accesses fill the window,
+        # then charge each window its distinct lines
+        density = distinct_total / n  # new-line probability
+        window = max(int(capacity_lines / max(density, 0.05)),
+                     capacity_lines)
+        positions = reuse.positions(n) if reuse is not None else None
+        loads = windowed_distinct_loads(prev, window, lo, hi,
+                                        positions=positions)
+        # compulsory fetches in full, capacity reloads damped
+        return int(distinct_total
+                   + LOCALITY_WEIGHT * (loads - distinct_total))
+
+    def _x_line_loads_loop(self, cols: np.ndarray) -> int:
+        """The original per-window ``np.unique`` implementation, kept
+        verbatim as the reference the fast path must match bit-for-bit
+        (golden-equivalence tests, ``bench_model_fastpath``)."""
         if cols.size == 0:
             return 0
         lines = cols // (self.arch.line_size // 8)
@@ -175,15 +232,12 @@ class PerfModel:
         distinct_total = int(np.unique(lines).size)
         if distinct_total <= capacity_lines:
             return distinct_total
-        # capacity regime: estimate how many accesses fill the window,
-        # then charge each window its distinct lines
-        density = distinct_total / cols.size  # new-line probability
+        density = distinct_total / cols.size
         window = max(int(capacity_lines / max(density, 0.05)),
                      capacity_lines)
         loads = 0
         for start in range(0, cols.size, window):
             loads += int(np.unique(lines[start:start + window]).size)
-        # compulsory fetches in full, capacity reloads damped
         return int(distinct_total
                    + LOCALITY_WEIGHT * (loads - distinct_total))
 
@@ -191,13 +245,16 @@ class PerfModel:
     # per-thread cost
     # ------------------------------------------------------------------
     def _thread_time(self, a: CSRMatrix, schedule: Schedule, t: int,
-                     resid: float) -> tuple:
+                     resid: float, reuse: ReuseStats | None = None,
+                     prev: np.ndarray | None = None) -> tuple:
         lo, hi = schedule.thread_entry_range(t)
         nnz_t = hi - lo
         rows_t = max(int(schedule.row_start[t + 1] - schedule.row_start[t]),
                      1 if nnz_t else 0)
-        cols = a.colidx[lo:hi]
-        x_loads = self._x_line_loads(cols)
+        if prev is not None:
+            x_loads = self._loads_from_prev(prev, lo, hi, reuse=reuse)
+        else:
+            x_loads = self._x_line_loads_loop(a.colidx[lo:hi])
         bytes_t = (BYTES_PER_NNZ * nnz_t + BYTES_PER_ROW * rows_t
                    + X_BYTES_PER_LOAD * x_loads)
         dram_bw = (self.arch.per_thread_bandwidth(schedule.nthreads)
@@ -211,31 +268,137 @@ class PerfModel:
         time_lat = (x_loads * (1.0 - resid) * MEMORY_LATENCY_S
                     / MEMORY_PARALLELISM)
         # compute roofline with branch-irregularity penalty
-        lengths = np.diff(a.rowptr[int(schedule.row_start[t]):
-                                   int(schedule.row_start[t + 1]) + 1])
-        if lengths.size > 1:
-            changes = int(np.count_nonzero(np.diff(lengths)))
+        if reuse is not None:
+            changes = reuse.row_change_count(int(schedule.row_start[t]),
+                                             int(schedule.row_start[t + 1]))
         else:
-            changes = 0
+            lengths = np.diff(a.rowptr[int(schedule.row_start[t]):
+                                       int(schedule.row_start[t + 1]) + 1])
+            if lengths.size > 1:
+                changes = int(np.count_nonzero(np.diff(lengths)))
+            else:
+                changes = 0
         cycles = (self._cpi * nnz_t + self._row_cycles * rows_t
                   + self._mispredict * changes)
         time_cpu = cycles / (self.arch.freq_ghz * 1e9)
         return max(time_mem + time_lat, time_cpu), x_loads, bytes_t
 
     # ------------------------------------------------------------------
+    # batched (all-threads-at-once) fast path
+    # ------------------------------------------------------------------
+    def _x_loads_batch(self, schedule: Schedule, reuse: ReuseStats,
+                       prev: np.ndarray, nnz_t: np.ndarray) -> np.ndarray:
+        """Per-thread x line loads for every thread at once.
+
+        Same windowed working-set model as :meth:`_loads_from_prev`,
+        with the per-thread slices handled by one pass over the entry
+        stream (thread ids via ``repeat``, per-thread counts via
+        ``bincount``) — bit-identical results, no per-thread Python
+        loop.
+        """
+        n = prev.size
+        tcount = schedule.nthreads
+        tid = np.repeat(np.arange(tcount, dtype=np.int64), nnz_t)
+        lo = np.repeat(schedule.entry_start[:-1], nnz_t)
+        distinct = np.bincount(tid[prev < lo], minlength=tcount)
+        cap = self._l2_lines()
+        x_loads = distinct.copy()
+        capm = distinct > cap
+        if not capm.any():
+            return x_loads
+        # capacity regime per thread: window from that thread's density
+        density = distinct[capm] / nnz_t[capm]
+        window = np.ones(tcount, dtype=np.int64)
+        window[capm] = np.maximum(
+            (cap / np.maximum(density, 0.05)).astype(np.int64), cap)
+        win = np.repeat(window, nnz_t)
+        rel = reuse.positions(n) - lo
+        wstart = lo + (rel // win) * win
+        loads = np.bincount(tid[prev < wstart], minlength=tcount)
+        x_loads[capm] = (distinct[capm] + LOCALITY_WEIGHT
+                         * (loads[capm] - distinct[capm])).astype(np.int64)
+        return x_loads
+
+    def _predict_batch(self, a: CSRMatrix, schedule: Schedule,
+                       reuse: ReuseStats, prev: np.ndarray | None,
+                       resid: float) -> tuple:
+        """All per-thread costs in one vectorised pass.
+
+        Elementwise float64 operations in the same order as
+        :meth:`_thread_time`, so ``(times, x_loads, bytes)`` are
+        bit-identical to the per-thread loop (asserted by the
+        golden-equivalence suite).
+        """
+        tcount = schedule.nthreads
+        nnz_t = np.diff(schedule.entry_start)
+        rows_span = schedule.row_start[1:] - schedule.row_start[:-1]
+        rows_t = np.maximum(rows_span, (nnz_t > 0).astype(np.int64))
+        if not self.locality_term:
+            x_loads = nnz_t.copy()
+        elif prev is None or a.nnz == 0:
+            x_loads = np.zeros(tcount, dtype=np.int64)
+        else:
+            x_loads = self._x_loads_batch(schedule, reuse, prev, nnz_t)
+        changes = np.zeros(tcount, dtype=np.int64)
+        multi = rows_span >= 2
+        if multi.any():
+            p = reuse.row_change_prefix()
+            changes[multi] = (p[schedule.row_start[1:][multi] - 1]
+                              - p[schedule.row_start[:-1][multi]])
+        bytes_t = (BYTES_PER_NNZ * nnz_t + BYTES_PER_ROW * rows_t
+                   + X_BYTES_PER_LOAD * x_loads)
+        dram_bw = (self.arch.per_thread_bandwidth(tcount)
+                   * BANDWIDTH_EFFICIENCY)
+        l3_bw = dram_bw * L3_BANDWIDTH_MULT
+        time_mem = np.maximum(bytes_t * (1.0 - resid) / dram_bw,
+                              bytes_t / l3_bw)
+        time_lat = (x_loads * (1.0 - resid) * MEMORY_LATENCY_S
+                    / MEMORY_PARALLELISM)
+        cycles = (self._cpi * nnz_t + self._row_cycles * rows_t
+                  + self._mispredict * changes)
+        time_cpu = cycles / (self.arch.freq_ghz * 1e9)
+        return np.maximum(time_mem + time_lat, time_cpu), x_loads, bytes_t
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def predict(self, a: CSRMatrix, schedule: Schedule) -> SpmvPrediction:
-        """Predict one warm-cache SpMV iteration under ``schedule``."""
+    def predict(self, a: CSRMatrix, schedule: Schedule,
+                reuse: ReuseStats | None = None) -> SpmvPrediction:
+        """Predict one warm-cache SpMV iteration under ``schedule``.
+
+        ``reuse`` supplies precomputed per-matrix statistics; when
+        omitted (and ``fastpath`` is on) the memoised per-matrix stats
+        are used, so repeated predictions on the same matrix object —
+        across architectures, kernels and thread counts — share one
+        previous-occurrence pass instead of re-deriving line ids and
+        per-window distinct counts per cell.
+        """
+        prev = None
+        if self.fastpath:
+            if reuse is None:
+                reuse = ReuseStats.for_matrix(a)
+            if self.locality_term and a.nnz:
+                prev = reuse.prev(self.arch.line_size // 8)
+        else:
+            reuse = None
         resid = self.llc_residency(a)
-        times = np.zeros(schedule.nthreads)
-        loads = 0
-        total_bytes = 0.0
-        for t in range(schedule.nthreads):
-            times[t], x_loads, bytes_t = self._thread_time(
-                a, schedule, t, resid)
-            loads += x_loads
-            total_bytes += bytes_t
+        if (reuse is not None
+                and type(self)._thread_time is PerfModel._thread_time):
+            times, loads_t, bytes_arr = self._predict_batch(
+                a, schedule, reuse, prev, resid)
+            loads = int(loads_t.sum())
+            # cumsum accumulates left-to-right like the loop below, so
+            # the float result is bit-identical to the per-thread sum
+            total_bytes = float(np.cumsum(bytes_arr)[-1])
+        else:
+            times = np.zeros(schedule.nthreads)
+            loads = 0
+            total_bytes = 0.0
+            for t in range(schedule.nthreads):
+                times[t], x_loads, bytes_t = self._thread_time(
+                    a, schedule, t, resid, reuse=reuse, prev=prev)
+                loads += x_loads
+                total_bytes += bytes_t
         if self.imbalance_term:
             seconds = float(times.max())
         else:
@@ -246,3 +409,48 @@ class PerfModel:
                               x_line_loads=loads, gflops=gflops,
                               bytes_total=total_bytes,
                               llc_residency=resid)
+
+
+def predict_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
+                 nthreads=None, model_factory=None,
+                 reuse: ReuseStats | None = None) -> dict:
+    """Batched model evaluation over architectures × kernels × threads.
+
+    Computes the per-(matrix, ordering) sufficient statistics once (one
+    argsort over the cache-line id stream, one row-length-change prefix
+    sum) and serves every requested cell from them; schedules are
+    memoised per (matrix, kind, nthreads), so architectures with equal
+    core counts share them too.  Returns
+    ``{(arch.name, kernel, nthreads): SpmvPrediction}`` whose entries
+    are **bit-identical** to calling :meth:`PerfModel.predict` per
+    cell (the golden-equivalence suite asserts this).
+
+    Parameters
+    ----------
+    architectures:
+        Iterable of :class:`Architecture`.
+    kernels:
+        Schedule kinds (``"1d"`` / ``"2d"`` / ``"merge"``).
+    nthreads:
+        Optional iterable of thread counts applied to every
+        architecture; by default each architecture runs with its own
+        ``arch.threads`` (the study's one-thread-per-core setting).
+    model_factory:
+        Optional ``arch -> PerfModel`` hook (ablations override this).
+    reuse:
+        Precomputed statistics; defaults to the matrix's memoised
+        :class:`ReuseStats`.
+    """
+    factory = model_factory or PerfModel
+    if reuse is None:
+        reuse = ReuseStats.for_matrix(a)
+    out = {}
+    for arch in architectures:
+        model = factory(arch)
+        counts = [arch.threads] if nthreads is None else list(nthreads)
+        for kernel in kernels:
+            for nt in counts:
+                schedule = get_schedule(a, kernel, nt)
+                out[(arch.name, kernel, nt)] = model.predict(
+                    a, schedule, reuse=reuse)
+    return out

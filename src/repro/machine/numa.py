@@ -75,9 +75,9 @@ class NumaModel(PerfModel):
         return 0.5 * remote_share
 
     def _thread_time(self, a: CSRMatrix, schedule: Schedule, t: int,
-                     resid: float) -> tuple:
+                     resid: float, reuse=None, prev=None) -> tuple:
         base_time, x_loads, bytes_t = super()._thread_time(
-            a, schedule, t, resid)
+            a, schedule, t, resid, reuse=reuse, prev=prev)
         frac = self._remote_fraction(a, schedule, t)
         if frac == 0.0 or x_loads == 0:
             return base_time, x_loads, bytes_t

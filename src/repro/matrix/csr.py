@@ -105,9 +105,26 @@ class CSRMatrix:
         return np.diff(self.rowptr)
 
     def row_of_entry(self) -> np.ndarray:
-        """Row index of every stored entry, in CSR order (length nnz)."""
-        return np.repeat(np.arange(self.nrows, dtype=np.int64),
-                         self.row_lengths())
+        """Row index of every stored entry, in CSR order (length nnz).
+
+        Memoised on first call (every SpMV kernel and the performance
+        model derive it from the same immutable ``rowptr``); the cached
+        array is marked read-only so shared use stays safe.
+        """
+        cached = getattr(self, "_cache_row_of_entry", None)
+        if cached is None:
+            cached = np.repeat(np.arange(self.nrows, dtype=np.int64),
+                               self.row_lengths())
+            cached.flags.writeable = False
+            object.__setattr__(self, "_cache_row_of_entry", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Drop memoised derivatives (``_cache_*``: row-of-entry,
+        schedules, reuse statistics) so pickling a matrix — e.g. for
+        sweep-engine worker fan-out — ships only the defining arrays."""
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_cache_")}
 
     def row_slice(self, i: int) -> tuple:
         """Return ``(cols, vals)`` views for row ``i``."""

@@ -112,6 +112,44 @@ def schedule_merge(a: CSRMatrix, nthreads: int) -> Schedule:
                     entry_start=entry_start, row_start=row_start)
 
 
+#: schedule-cache observability counters; the sweep engine snapshots
+#: them around each task and reports the delta in sweep_metrics.json.
+COUNTERS = {"schedule_builds": 0, "schedule_hits": 0}
+
+
+def get_schedule(a: CSRMatrix, kind: str, nthreads: int) -> Schedule:
+    """Memoised :func:`schedule_1d` / :func:`schedule_2d` /
+    :func:`schedule_merge` per (matrix, kind, nthreads).
+
+    A sweep evaluates the same matrix under eight architectures whose
+    core counts overlap, and the performance model is deterministic in
+    (kind, nthreads), so identical schedules were being rebuilt per
+    cell.  The cache lives on the matrix object itself (dropped by
+    ``CSRMatrix.__getstate__`` on pickling, so worker fan-out does not
+    ship it) and schedules are immutable, so sharing is safe.
+    """
+    cache = getattr(a, "_cache_schedules", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(a, "_cache_schedules", cache)
+    key = (kind, int(nthreads))
+    schedule = cache.get(key)
+    if schedule is not None:
+        COUNTERS["schedule_hits"] += 1
+        return schedule
+    if kind == "1d":
+        schedule = schedule_1d(a, nthreads)
+    elif kind == "2d":
+        schedule = schedule_2d(a, nthreads)
+    elif kind == "merge":
+        schedule = schedule_merge(a, nthreads)
+    else:
+        raise ScheduleError(f"unknown kernel {kind!r}")
+    cache[key] = schedule
+    COUNTERS["schedule_builds"] += 1
+    return schedule
+
+
 def schedule_2d(a: CSRMatrix, nthreads: int) -> Schedule:
     """Equal *nonzero* split: thread t gets entries [t·K/T, (t+1)·K/T).
 

@@ -86,3 +86,22 @@ def test_invalid_xadj_rejected():
 def test_adjncy_out_of_range_rejected():
     with pytest.raises(MatrixFormatError):
         Graph(np.array([0, 1]), np.array([3]))
+
+
+def test_degrees_memoised(rng):
+    a = random_csr(25, 100, rng, symmetric=True)
+    g = graph_from_matrix(a)
+    deg = g.degrees()
+    assert g.degrees() is deg
+    assert not deg.flags.writeable
+    assert np.array_equal(deg, np.diff(g.xadj))
+
+
+def test_degree_cache_dropped_on_pickle(rng):
+    import pickle
+
+    g = graph_from_matrix(random_csr(25, 100, rng, symmetric=True))
+    g.degrees()
+    h = pickle.loads(pickle.dumps(g))
+    assert getattr(h, "_cache_degrees", None) is None
+    assert np.array_equal(h.degrees(), g.degrees())

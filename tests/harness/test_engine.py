@@ -263,3 +263,43 @@ def test_advisor_dataset_skips_failed_cells(
         assert exploding_ordering not in row.reorder_seconds
         assert set(row.speedups) == {"original", "RCM"}
         assert np.isfinite(row.best_speedup)
+
+
+# ----------------------------------------------------------------------
+# model-statistics reuse observability
+# ----------------------------------------------------------------------
+def test_metrics_report_model_stat_reuse(tmp_path):
+    """A multi-architecture sweep must reuse the per-(matrix, ordering)
+    statistics and schedules across cells, and say so in the metrics.
+    Naples and TX2 share a 64-core count, so their schedules must be
+    served from the same cache entries.  A fresh corpus (not the
+    module fixture) keeps the build counts deterministic — matrices
+    memoise their statistics across engine runs."""
+    corpus = build_corpus("tiny", seed=0)[:4]
+    archs = [get_architecture(n) for n in ("Naples", "TX2")]
+    engine = SweepEngine(corpus, archs, ["RCM", "Gray"])
+    engine.run()
+    stats = engine.metrics.model_stats
+    # 3 variants (original, RCM, Gray) per matrix, one statistics build
+    # each; every further (arch, kernel) cell is a hit
+    assert stats["reuse_builds"] == 3 * len(corpus)
+    assert stats["reuse_hits"] > 0
+    assert stats["schedule_builds"] > 0
+    assert stats["schedule_hits"] > 0
+    assert "reuse_stats" in engine.metrics.stages
+    path = tmp_path / "sweep_metrics.json"
+    engine.metrics.save(path)
+    m = json.loads(path.read_text())
+    assert m["model_stats"] == stats
+    assert set(m["stages"]) >= {"reorder", "reuse_stats", "model_eval"}
+
+
+def test_gp_grouping_keeps_per_arch_permutations(tiny_corpus):
+    """GP permutations depend on the architecture's core count; the
+    ordering-outer loop must still produce the same records as the
+    legacy arch-outer serial runner."""
+    archs = [get_architecture(n) for n in ("Rome", "Milan B")]
+    legacy = run_sweep(tiny_corpus[:2], archs, ["GP"],
+                       cache=OrderingCache())
+    engine = SweepEngine(tiny_corpus[:2], archs, ["GP"])
+    assert engine.run().records == legacy.records

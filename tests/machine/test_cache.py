@@ -91,3 +91,71 @@ def test_model_tracks_exact_simulator_ranking():
     # model (single thread to mirror the sequential simulator)
     loads = [model._x_line_loads(m.colidx) for m in (a, b)]
     assert (misses[0] < misses[1]) == (loads[0] < loads[1])
+
+
+# ----------------------------------------------------------------------
+# vectorised fully-associative path vs per-access reference loop
+# ----------------------------------------------------------------------
+def _loop_replay(cache, addrs):
+    """Force the per-access reference path regardless of geometry."""
+    before = cache.misses
+    for a in addrs:
+        cache.access(int(a))
+    return cache.misses - before
+
+
+def _random_traces(rng):
+    yield np.array([], dtype=np.int64)
+    yield np.zeros(50, dtype=np.int64)
+    for n, nlines in [(100, 2), (300, 10), (1000, 40), (2000, 500)]:
+        yield rng.integers(0, nlines, n) * 64 + rng.integers(0, 8, n) * 8
+
+
+def test_fully_assoc_fast_path_matches_loop(rng):
+    for assoc in (1, 2, 8, 32):
+        for addrs in _random_traces(rng):
+            fast = LRUCache(size=assoc * 64, line_size=64,
+                            associativity=assoc)
+            ref = LRUCache(size=assoc * 64, line_size=64,
+                           associativity=assoc)
+            m_fast = fast.access_many(addrs)
+            m_ref = _loop_replay(ref, addrs)
+            assert m_fast == m_ref
+            assert (fast.hits, fast.misses) == (ref.hits, ref.misses)
+            # exact end-state equivalence: tags, recency and clock
+            assert fast._sets[0] == ref._sets[0]
+            assert fast._clock == ref._clock
+
+
+def test_fully_assoc_fast_path_end_state_drives_future_accesses(rng):
+    """After a vectorised replay, continued per-access use behaves as
+    if the whole trace had gone through the loop."""
+    addrs = rng.integers(0, 30, 500) * 64
+    probe = rng.integers(0, 30, 100) * 64
+    fast = LRUCache(size=8 * 64, line_size=64, associativity=8)
+    ref = LRUCache(size=8 * 64, line_size=64, associativity=8)
+    fast.access_many(addrs)
+    _loop_replay(ref, addrs)
+    for p in probe:
+        assert fast.access(int(p)) == ref.access(int(p))
+
+
+def test_warm_fully_assoc_cache_falls_back_to_loop(rng):
+    """A non-empty fully-associative cache must not take the
+    empty-start fast path (its hit pattern depends on the warm state)."""
+    addrs = rng.integers(0, 20, 300) * 64
+    warm_fast = LRUCache(size=4 * 64, line_size=64, associativity=4)
+    warm_ref = LRUCache(size=4 * 64, line_size=64, associativity=4)
+    warm_fast.access(0)
+    warm_ref.access(0)
+    assert warm_fast.access_many(addrs) == _loop_replay(warm_ref, addrs)
+    assert warm_fast._sets[0] == warm_ref._sets[0]
+
+
+def test_set_associative_access_many_unchanged(rng):
+    """Multi-set geometries keep the exact per-access reference loop."""
+    addrs = rng.integers(0, 64, 800) * 64
+    c1 = LRUCache(size=16 * 64, line_size=64, associativity=4)  # 4 sets
+    c2 = LRUCache(size=16 * 64, line_size=64, associativity=4)
+    assert c1.access_many(addrs) == _loop_replay(c2, addrs)
+    assert c1._sets == c2._sets

@@ -1,0 +1,146 @@
+"""Golden-equivalence suite for the batched prediction fast path.
+
+The contract of the fast path (``ReuseStats`` + memoised schedules +
+the vectorised all-threads pass) is **bit-identity**: every field of
+every :class:`SpmvPrediction` must equal — with ``==``, not
+``isclose`` — what the original per-cell, per-thread, per-window
+``np.unique`` implementation (``fastpath=False`` on a fresh matrix
+object) produces.  This is checked over a small corpus slice, every
+ordering of the study, all eight Table 2 architectures and both
+kernels, with GP recomputed per distinct ``gp_parts`` exactly as the
+sweep engine groups it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators.suite import build_corpus
+from repro.machine.arch import TABLE2
+from repro.machine.bench import simulate_measurement, simulate_many
+from repro.machine.model import PerfModel, predict_many
+from repro.matrix.csr import CSRMatrix
+from repro.reorder.registry import ALL_ORDERINGS, compute_ordering
+from repro.spmv.schedule import get_schedule, schedule_1d, schedule_2d
+
+ARCHS = list(TABLE2.values())
+#: small/fast corpus slice spanning the generator families
+CASE_INDICES = (0, 8, 12, 23, 26, 31)
+
+
+@pytest.fixture(scope="module")
+def corpus_slice():
+    corpus = build_corpus("tiny", seed=0)
+    return [corpus[i] for i in CASE_INDICES]
+
+
+def fresh_copy(a: CSRMatrix) -> CSRMatrix:
+    """A new matrix object with no memoised caches attached."""
+    return CSRMatrix(a.nrows, a.ncols, a.rowptr.copy(), a.colidx.copy(),
+                     a.values.copy())
+
+
+def reference_prediction(a, arch, kernel):
+    """The legacy implementation: fresh matrix, no caches, per-window
+    ``np.unique`` loop."""
+    model = PerfModel(arch, fastpath=False)
+    b = fresh_copy(a)
+    schedule = (schedule_1d if kernel == "1d" else schedule_2d)(
+        b, arch.threads)
+    return model.predict(b, schedule)
+
+
+def assert_same_prediction(fast, ref, context):
+    assert fast.seconds == ref.seconds, context
+    assert fast.x_line_loads == ref.x_line_loads, context
+    assert fast.bytes_total == ref.bytes_total, context
+    assert fast.gflops == ref.gflops, context
+    assert fast.llc_residency == ref.llc_residency, context
+    assert np.array_equal(fast.thread_seconds, ref.thread_seconds), context
+
+
+def iter_variants(entry, seed=0):
+    """(ordering-name, reordered matrix) pairs, with GP computed once
+    per distinct gp_parts like the sweep engine does."""
+    a = entry.matrix
+    for name in ALL_ORDERINGS:
+        if name == "original":
+            yield name, fresh_copy(a)
+        elif name == "GP":
+            for nparts in sorted({arch.gp_parts for arch in ARCHS}):
+                result = compute_ordering(a, name, nparts=nparts, seed=seed)
+                yield f"GP@{nparts}", result.apply(a)
+        else:
+            result = compute_ordering(a, name, seed=seed)
+            yield name, result.apply(a)
+
+
+def test_predict_many_bit_identical_to_per_cell_predict(corpus_slice):
+    for entry in corpus_slice:
+        for ordering, b in iter_variants(entry):
+            out = predict_many(b, ARCHS)
+            assert set(out) == {(arch.name, kernel, arch.threads)
+                                for arch in ARCHS for kernel in ("1d", "2d")}
+            for arch in ARCHS:
+                for kernel in ("1d", "2d"):
+                    ref = reference_prediction(b, arch, kernel)
+                    assert_same_prediction(
+                        out[(arch.name, kernel, arch.threads)], ref,
+                        (entry.name, ordering, arch.name, kernel))
+
+
+def test_simulate_many_bit_identical_to_per_cell_records(corpus_slice):
+    for entry in corpus_slice[:2]:
+        b = fresh_copy(entry.matrix)
+        fast = simulate_many(b, ARCHS, matrix_name=entry.name,
+                             ordering_name="original")
+        legacy = [simulate_measurement(fresh_copy(entry.matrix), arch,
+                                       kernel, entry.name, "original",
+                                       model=PerfModel(arch, fastpath=False))
+                  for arch in ARCHS for kernel in ("1d", "2d")]
+        assert fast == legacy
+
+
+def test_predict_many_explicit_thread_counts(corpus_slice):
+    entry = corpus_slice[0]
+    b = fresh_copy(entry.matrix)
+    out = predict_many(b, ARCHS[:2], kernels=("1d",), nthreads=(4, 16))
+    for arch in ARCHS[:2]:
+        for nt in (4, 16):
+            model = PerfModel(arch, fastpath=False)
+            c = fresh_copy(entry.matrix)
+            ref = model.predict(c, schedule_1d(c, nt))
+            assert_same_prediction(out[(arch.name, "1d", nt)], ref,
+                                   (arch.name, nt))
+
+
+def test_fastpath_ablation_models_stay_identical(corpus_slice):
+    """The locality/imbalance ablation switches must not diverge
+    between the fast and reference paths."""
+    entry = corpus_slice[1]
+    arch = ARCHS[0]
+    for flags in ({"locality_term": False}, {"imbalance_term": False},
+                  {"locality_term": False, "imbalance_term": False}):
+        b = fresh_copy(entry.matrix)
+        fast = PerfModel(arch, **flags).predict(
+            b, get_schedule(b, "2d", arch.threads))
+        c = fresh_copy(entry.matrix)
+        ref = PerfModel(arch, fastpath=False, **flags).predict(
+            c, schedule_2d(c, arch.threads))
+        assert_same_prediction(fast, ref, flags)
+
+
+def test_empty_and_tiny_matrices_agree():
+    empty = CSRMatrix(3, 3, np.array([0, 0, 0, 0]), np.array([], dtype=int),
+                      np.array([]))
+    single = CSRMatrix(1, 1, np.array([0, 1]), np.array([0]),
+                       np.array([1.0]))
+    for a in (empty, single):
+        for arch in ARCHS[:3]:
+            for kernel in ("1d", "2d"):
+                fast = PerfModel(arch).predict(
+                    a, get_schedule(a, kernel, arch.threads))
+                b = fresh_copy(a)
+                sched = (schedule_1d if kernel == "1d" else schedule_2d)(
+                    b, arch.threads)
+                ref = PerfModel(arch, fastpath=False).predict(b, sched)
+                assert_same_prediction(fast, ref, (a.nnz, arch.name, kernel))

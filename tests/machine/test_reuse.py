@@ -1,0 +1,150 @@
+"""Property tests for the reuse-distance sufficient statistics.
+
+The fast path of the performance model rests on three identities; each
+is checked here against the brute-force definition on random streams:
+
+* ``distinct_count`` / ``windowed_distinct_loads`` must equal per-slice
+  and per-window ``np.unique`` counts exactly (the model's predictions
+  are asserted bit-identical downstream, so these must be too);
+* ``stack_distances`` must equal the O(n²) distinct-values-between
+  definition;
+* :class:`ReuseStats` must memoise per matrix object and report its
+  build/hit counters faithfully.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.reuse import (
+    COUNTERS,
+    ReuseStats,
+    counters_snapshot,
+    distinct_count,
+    prev_occurrence,
+    stack_distances,
+    windowed_distinct_loads,
+)
+from ..conftest import random_csr
+
+
+def brute_prev(stream):
+    out = np.full(len(stream), -1, dtype=np.int64)
+    last = {}
+    for i, v in enumerate(stream):
+        if v in last:
+            out[i] = last[v]
+        last[v] = i
+    return out
+
+
+def random_streams(rng):
+    """A spread of stream shapes: empty, constant, short, long, narrow
+    and wide alphabets."""
+    yield np.array([], dtype=np.int64)
+    yield np.zeros(17, dtype=np.int64)
+    yield np.arange(23, dtype=np.int64)
+    for n, hi in [(1, 1), (2, 1), (50, 4), (200, 13), (1000, 50),
+                  (1000, 700), (3000, 3)]:
+        yield rng.integers(0, hi, n)
+
+
+def test_prev_occurrence_matches_brute_force(rng):
+    for stream in random_streams(rng):
+        assert np.array_equal(prev_occurrence(stream), brute_prev(stream))
+
+
+def test_distinct_count_matches_np_unique(rng):
+    for stream in random_streams(rng):
+        prev = prev_occurrence(stream)
+        n = stream.size
+        for lo, hi in [(0, n), (0, n // 2), (n // 3, n), (n // 4, 3 * n // 4)]:
+            assert distinct_count(prev, lo, hi) == \
+                np.unique(stream[lo:hi]).size
+
+
+def test_windowed_distinct_loads_matches_np_unique_loop(rng):
+    for stream in random_streams(rng):
+        prev = prev_occurrence(stream)
+        n = stream.size
+        for window in (1, 3, 7, 64, max(n, 1)):
+            for lo, hi in [(0, n), (n // 3, n)]:
+                s = stream[lo:hi]
+                expect = sum(int(np.unique(s[k:k + window]).size)
+                             for k in range(0, s.size, window))
+                got = windowed_distinct_loads(prev, window, lo, hi)
+                assert got == expect, (n, window, lo, hi)
+
+
+def test_windowed_distinct_loads_rejects_bad_window():
+    with pytest.raises(ValueError):
+        windowed_distinct_loads(np.array([-1, 0]), 0, 0, 2)
+
+
+def brute_stack_distances(stream):
+    out = np.full(len(stream), -1, dtype=np.int64)
+    last = {}
+    for i, v in enumerate(stream):
+        if v in last:
+            out[i] = len(set(stream[last[v] + 1:i]))
+        last[v] = i
+    return out
+
+
+def test_stack_distances_match_brute_force(rng):
+    for stream in random_streams(rng):
+        got = stack_distances(prev_occurrence(stream))
+        assert np.array_equal(got, brute_stack_distances(stream))
+
+
+def test_reuse_stats_memoised_per_matrix(rng):
+    a = random_csr(60, 300, rng)
+    stats = ReuseStats.for_matrix(a)
+    assert ReuseStats.for_matrix(a) is stats
+    assert ReuseStats.for_matrix(random_csr(60, 300, rng)) is not stats
+
+
+def test_reuse_stats_counters_track_builds_and_hits(rng):
+    a = random_csr(60, 300, rng)
+    stats = ReuseStats.for_matrix(a)
+    before = counters_snapshot()
+    p1 = stats.prev(8)
+    mid = counters_snapshot()
+    assert mid["reuse_builds"] == before["reuse_builds"] + 1
+    assert mid["reuse_hits"] == before["reuse_hits"]
+    p2 = stats.prev(8)
+    after = counters_snapshot()
+    assert p2 is p1
+    assert after["reuse_builds"] == mid["reuse_builds"]
+    assert after["reuse_hits"] == mid["reuse_hits"] + 1
+    # a different line size is its own statistic, not a hit
+    stats.prev(4)
+    assert COUNTERS["reuse_builds"] == after["reuse_builds"] + 1
+
+
+def test_reuse_stats_values(rng):
+    a = random_csr(50, 400, rng)
+    stats = ReuseStats.for_matrix(a)
+    assert np.array_equal(stats.lines(8), a.colidx // 8)
+    assert np.array_equal(stats.prev(8), brute_prev(a.colidx // 8))
+    lengths = np.diff(a.rowptr)
+    for lo, hi in [(0, a.nrows), (5, 20), (7, 8), (3, 3)]:
+        expect = (int(np.count_nonzero(np.diff(lengths[lo:hi])))
+                  if hi - lo >= 2 else 0)
+        assert stats.row_change_count(lo, hi) == expect
+
+
+def test_reuse_stats_dropped_on_pickle(rng):
+    import pickle
+
+    a = random_csr(30, 120, rng)
+    ReuseStats.for_matrix(a).prepare()
+    b = pickle.loads(pickle.dumps(a))
+    assert getattr(b, ReuseStats._ATTR, None) is None
+    assert np.array_equal(b.colidx, a.colidx)
+
+
+def test_prepare_materialises_lazily_built_arrays(rng):
+    a = random_csr(30, 120, rng)
+    stats = ReuseStats.for_matrix(a).prepare(words_per_lines=(8, 4))
+    assert set(stats._prev) == {8, 4}
+    assert stats._row_change_prefix is not None

@@ -111,3 +111,22 @@ def test_to_coo_roundtrip(rng):
     a = random_csr(20, 80, rng)
     b = csr_from_coo(a.to_coo())
     assert np.allclose(a.to_dense(), b.to_dense())
+
+
+def test_row_of_entry_memoised(rng):
+    a = random_csr(30, 120, rng)
+    rows = a.row_of_entry()
+    assert a.row_of_entry() is rows
+    assert not rows.flags.writeable
+    expect = np.repeat(np.arange(a.nrows), np.diff(a.rowptr))
+    assert np.array_equal(rows, expect)
+
+
+def test_memoised_caches_dropped_on_pickle(rng):
+    import pickle
+
+    a = random_csr(30, 120, rng)
+    a.row_of_entry()
+    b = pickle.loads(pickle.dumps(a))
+    assert getattr(b, "_cache_row_of_entry", None) is None
+    assert np.array_equal(b.row_of_entry(), a.row_of_entry())

@@ -97,3 +97,44 @@ def test_schedule_validation():
         Schedule(kind="1d", nthreads=1,
                  entry_start=np.array([1, 5]),  # must start at 0
                  row_start=np.array([0, 2]))
+
+
+def test_get_schedule_memoises_per_matrix(rng):
+    from repro.spmv.schedule import COUNTERS, get_schedule
+
+    a = random_csr(40, 200, rng)
+    before = dict(COUNTERS)
+    s1 = get_schedule(a, "1d", 4)
+    assert COUNTERS["schedule_builds"] == before["schedule_builds"] + 1
+    assert get_schedule(a, "1d", 4) is s1
+    assert COUNTERS["schedule_hits"] == before["schedule_hits"] + 1
+    # a different kind or thread count is its own cache entry
+    s2 = get_schedule(a, "2d", 4)
+    s3 = get_schedule(a, "1d", 8)
+    assert s2 is not s1 and s3 is not s1
+    # cached schedule equals a direct build
+    direct = schedule_1d(a, 4)
+    assert np.array_equal(s1.entry_start, direct.entry_start)
+    assert np.array_equal(s1.row_start, direct.row_start)
+    # the cache is per matrix object
+    b = random_csr(40, 200, rng)
+    assert get_schedule(b, "1d", 4) is not s1
+
+
+def test_get_schedule_unknown_kind(rng):
+    from repro.spmv.schedule import get_schedule
+
+    a = random_csr(10, 30, rng)
+    with pytest.raises(ScheduleError):
+        get_schedule(a, "3d", 4)
+
+
+def test_schedule_cache_not_pickled(rng):
+    import pickle
+
+    from repro.spmv.schedule import get_schedule
+
+    a = random_csr(20, 80, rng)
+    get_schedule(a, "1d", 4)
+    b = pickle.loads(pickle.dumps(a))
+    assert getattr(b, "_cache_schedules", None) is None
