@@ -1,0 +1,205 @@
+"""Zero-cost-when-disabled gate for the observability layer.
+
+The obs instrumentation (spans on every reorder / reuse-stats /
+model-eval stage, registry counters on the statistics caches) sits on
+the sweep's hottest paths, so its *disabled* cost must be noise.
+
+Like ``bench_model_fastpath``, the hard gate is **deterministic**, not
+a wall-clock A/B (CI machines are noisy; an inline tiny sweep has a
+~±5 % run-to-run floor that would flake a 5 % gate):
+
+1. one instrumented sweep run is executed with *counting* wrappers
+   around ``span(...)`` and ``Counter.inc`` to learn exactly how many
+   instrumentation calls the workload makes;
+2. tight-loop microbenchmarks measure the per-call cost of the
+   disabled span fast path and a counter increment (these are stable
+   to a few ns);
+3. the gate asserts ``calls x per-call cost < 5 %`` of the workload's
+   wall time.  If tracing were ever accidentally left enabled by
+   default, step 2 would measure the ~10x dearer enabled path and
+   blow the gate.
+
+A median-of-interleaved-runs A/B (instrumented vs a no-obs build with
+``span``/``Counter.inc`` monkeypatched away) is still measured and
+reported in ``benchmarks/output/<tier>/bench_obs_overhead.json`` as
+end-to-end evidence, but only sanity-checked loosely.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import nullcontext
+
+from repro.generators import build_corpus
+from repro.harness import OrderingCache, SweepEngine
+from repro.machine import get_architecture
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+from repro.util import format_table
+
+from conftest import SEED
+
+#: interleaved repetitions per arm for the (informational) macro A/B.
+REPEATS = 5
+MATRICES = 4
+OVERHEAD_GATE = 0.05
+#: the macro A/B only guards against egregious regressions.
+MACRO_SANITY = 0.50
+
+_NULL = nullcontext()
+
+
+def _null_span(name, **args):
+    return _NULL
+
+
+def _run_workload(corpus) -> float:
+    arch = get_architecture("Rome")
+    engine = SweepEngine(corpus, [arch], ["RCM", "Gray"],
+                         cache=OrderingCache(), seed=SEED)
+    t0 = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - t0
+    assert result.failed == []
+    return elapsed
+
+
+# ----------------------------------------------------------------------
+# instrumentation stubs & call counting
+# ----------------------------------------------------------------------
+def _patch_obs(span_fn, inc_fn):
+    """Swap the obs hot-path hooks; returns an undo callable."""
+    from repro.harness import engine as engine_mod
+    from repro.reorder import registry as registry_mod
+
+    saved = [
+        (trace_mod, "span", trace_mod.span),
+        (registry_mod, "span", registry_mod.span),
+        (engine_mod, "span", engine_mod.span),
+        (metrics_mod.Counter, "inc", metrics_mod.Counter.inc),
+    ]
+    trace_mod.span = span_fn
+    registry_mod.span = span_fn
+    engine_mod.span = span_fn
+    metrics_mod.Counter.inc = inc_fn
+
+    def undo() -> None:
+        for obj, name, orig in saved:
+            setattr(obj, name, orig)
+
+    return undo
+
+
+def _count_instrumentation_calls(corpus) -> dict:
+    """How many span()/inc() calls one workload run makes."""
+    calls = {"span": 0, "inc": 0}
+    real_span, real_inc = trace_mod.span, metrics_mod.Counter.inc
+
+    def counting_span(name, **args):
+        calls["span"] += 1
+        return real_span(name, **args)
+
+    def counting_inc(self, n=1):
+        calls["inc"] += 1
+        return real_inc(self, n)
+
+    undo = _patch_obs(counting_span, counting_inc)
+    try:
+        _run_workload(corpus)
+    finally:
+        undo()
+    return calls
+
+
+def _median_interleaved(corpora) -> tuple:
+    """Median wall time per arm, alternating arms run-by-run so CPU
+    frequency ramps and cache warmup drift hit both equally."""
+    instrumented, baseline = [], []
+    for i in range(REPEATS):
+        for arm in ((0, 1) if i % 2 == 0 else (1, 0)):
+            if arm == 0:
+                instrumented.append(_run_workload(corpora.pop()))
+            else:
+                undo = _patch_obs(_null_span, lambda self, n=1: None)
+                try:
+                    baseline.append(_run_workload(corpora.pop()))
+                finally:
+                    undo()
+    return statistics.median(instrumented), statistics.median(baseline)
+
+
+def test_disabled_tracing_overhead_under_gate(emit, emit_json):
+    assert not trace_mod.is_enabled(), \
+        "this gate measures the disabled fast path"
+    # fresh corpora per run: matrices memoise their statistics, so
+    # reuse would shrink later runs and skew the comparison
+    # one corpus per run: warmup + call-count + 3 timed + the macro A/B
+    corpora = [build_corpus("tiny", seed=SEED)[:MATRICES]
+               for _ in range(2 * REPEATS + 5)]
+    _run_workload(corpora.pop())  # warm caches/imports
+
+    # -- deterministic gate: calls x per-call cost vs workload time ----
+    calls = _count_instrumentation_calls(corpora.pop())
+    assert calls["span"] > 0 and calls["inc"] > 0, \
+        "the workload no longer exercises the instrumentation"
+    workload_s = statistics.median(
+        _run_workload(corpora.pop()) for _ in range(3))
+
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with trace_mod.span("micro", a=1):
+            pass
+    disabled_span_ns = (time.perf_counter() - t0) / n * 1e9
+
+    counter = metrics_mod.MetricsRegistry().counter("micro")
+    t0 = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+    counter_inc_ns = (time.perf_counter() - t0) / n * 1e9
+
+    overhead_s = (calls["span"] * disabled_span_ns
+                  + calls["inc"] * counter_inc_ns) / 1e9
+    overhead = overhead_s / workload_s
+    assert overhead < OVERHEAD_GATE, \
+        (f"disabled instrumentation costs {overhead:.2%} of the sweep "
+         f"({calls['span']} spans x {disabled_span_ns:.0f}ns + "
+         f"{calls['inc']} incs x {counter_inc_ns:.0f}ns over "
+         f"{workload_s * 1e3:.1f}ms); gate is {OVERHEAD_GATE:.0%}")
+
+    # -- macro A/B: end-to-end evidence, loosely sanity-checked --------
+    instrumented_s, baseline_s = _median_interleaved(corpora)
+    macro_overhead = instrumented_s / baseline_s - 1.0
+    assert macro_overhead < MACRO_SANITY, \
+        (f"instrumented sweep {macro_overhead:.0%} slower than the "
+         "no-obs build — far beyond measurement noise")
+
+    # enabled-path per-call cost, for the artifact
+    tracer = trace_mod.Tracer(enabled=True)
+    t0 = time.perf_counter()
+    for _ in range(n // 10):
+        with tracer.span("micro", a=1):
+            pass
+    enabled_span_ns = (time.perf_counter() - t0) / (n // 10) * 1e9
+
+    artifact = {
+        "seed": SEED,
+        "matrices": MATRICES,
+        "span_calls": calls["span"],
+        "counter_incs": calls["inc"],
+        "workload_seconds": round(workload_s, 5),
+        "disabled_span_ns": round(disabled_span_ns, 1),
+        "enabled_span_ns": round(enabled_span_ns, 1),
+        "counter_inc_ns": round(counter_inc_ns, 1),
+        "overhead_fraction": round(overhead, 6),
+        "gate_fraction": OVERHEAD_GATE,
+        "macro_instrumented_seconds": round(instrumented_s, 5),
+        "macro_no_obs_seconds": round(baseline_s, 5),
+        "macro_overhead_fraction": round(macro_overhead, 5),
+    }
+    emit_json("bench_obs_overhead", artifact)
+    emit("bench_obs_overhead",
+         "Observability overhead: disabled tracing vs no-obs baseline\n"
+         + format_table(["metric", "value"],
+                        [[k, str(v)] for k, v in artifact.items()]))

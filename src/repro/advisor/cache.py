@@ -4,9 +4,10 @@ The serving path (:mod:`repro.advisor.service`) keeps two of these —
 one for matrix features, one for finished advice — keyed the same way
 :class:`repro.harness.runner.OrderingCache` keys permutations, so a
 repeated request for the same matrix/architecture/kernel costs a dict
-lookup instead of a feature pass.  The ``stats`` dict mirrors
-``OrderingCache.stats`` to keep cache observability uniform across the
-code base.
+lookup instead of a feature pass.  The ``stats`` dict exposes the
+shared cache-stats schema (:data:`repro.obs.CACHE_STATS_KEYS`), the
+same shape ``OrderingCache.stats`` and the memoised reuse-statistics
+cache report, so cache observability is uniform across the code base.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import threading
 from collections import OrderedDict
 
 from ..errors import AdvisorError
+from ..obs.cachestats import sizeof_value
 
 
 class LRUCache:
@@ -78,13 +80,16 @@ class LRUCache:
 
     @property
     def stats(self) -> dict:
+        """Shared-schema counters plus ``size``/``capacity``."""
         with self._lock:
             total = self._hits + self._misses
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+                "size_bytes": sum(sizeof_value(v)
+                                  for v in self._data.values()),
                 "size": len(self._data),
                 "capacity": self.capacity,
-                "hit_rate": self._hits / total if total else 0.0,
             }

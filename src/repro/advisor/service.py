@@ -18,14 +18,22 @@ releases the GIL in the hot reductions).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import AdvisorError
 from ..machine.arch import Architecture
 from ..matrix.csr import CSRMatrix
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span
 from .cache import LRUCache
 from .featurize import assemble, matrix_features
 from .model import AdvisorModel
+
+#: per-request serving metrics (process-global, shared across Advisor
+#: instances — a serving process runs one advisor).
+_REQUESTS = REGISTRY.counter("advisor.requests")
+_LATENCY = REGISTRY.histogram("advisor.request_seconds")
 
 
 class Advisor:
@@ -58,17 +66,23 @@ class Advisor:
         ``iterations`` overrides the advisor-level break-even budget
         for this request.
         """
+        t0 = time.perf_counter()
         budget = self.iterations if iterations is None else iterations
         mkey = self._matrix_key(a, matrix_name)
         akey = f"{mkey}__{arch.name}__{kernel}__{budget}"
-        cached = self._advice.get(akey)
-        if cached is None:
-            mf = self._features.get_or_compute(
-                f"{mkey}__t{arch.threads}",
-                lambda: matrix_features(a, arch.threads))
-            cached = self.model.predict_ranked(
-                assemble(mf, arch, kernel), nnz=a.nnz, iterations=budget)
-            self._advice.put(akey, cached)
+        with span("advisor.request", matrix=matrix_name or mkey,
+                  arch=arch.name, kernel=kernel):
+            cached = self._advice.get(akey)
+            if cached is None:
+                mf = self._features.get_or_compute(
+                    f"{mkey}__t{arch.threads}",
+                    lambda: matrix_features(a, arch.threads))
+                cached = self.model.predict_ranked(
+                    assemble(mf, arch, kernel), nnz=a.nnz,
+                    iterations=budget)
+                self._advice.put(akey, cached)
+        _REQUESTS.inc()
+        _LATENCY.observe(time.perf_counter() - t0)
         return cached[:top] if top is not None else list(cached)
 
     def advise_many(self, matrices: list, arch: Architecture,
@@ -103,9 +117,15 @@ class Advisor:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict:
-        """Hit/miss counters of both serving caches."""
+        """Hit/miss counters of both serving caches, plus the
+        process-wide request count and latency histogram summary."""
         return {"features": self._features.stats,
-                "advice": self._advice.stats}
+                "advice": self._advice.stats,
+                "requests": _REQUESTS.value,
+                "latency": {"count": _LATENCY.count,
+                            "mean_s": _LATENCY.mean(),
+                            "p50_s": _LATENCY.quantile(0.5),
+                            "p99_s": _LATENCY.quantile(0.99)}}
 
     def clear_caches(self) -> None:
         self._features.clear()

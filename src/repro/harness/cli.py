@@ -9,6 +9,15 @@ Commands
 ``sweep``       run the parallel, resumable measurement sweep engine
 ``recommend``   suggest an ordering for a Matrix Market file
 ``advise``      learned, ranked ordering selection (repro.advisor)
+``report``      render/validate trace + journal + manifest artifacts
+
+Output discipline: *data* (tables, rankings, reports) goes to stdout
+via ``print`` so pipelines keep working; *status* (progress
+heartbeats, "wrote X" notices, diagnostics) goes through the
+``repro`` logger to stderr — one atomic record per line, so a
+``--jobs N`` sweep's heartbeat can never interleave mid-line with
+other output.  ``--quiet`` silences status, ``--verbose`` adds debug
+detail.
 """
 
 from __future__ import annotations
@@ -22,8 +31,12 @@ from ..features import bandwidth, offdiagonal_nonzeros, profile
 from ..generators import build_corpus
 from ..machine import architecture_names, get_architecture
 from ..matrix import read_matrix_market, write_matrix_market
+from ..obs import get_logger, setup_cli_logging
+from ..obs import trace as obs_trace
 from ..reorder import ALL_ORDERINGS, compute_ordering
 from ..util import format_table
+
+log = get_logger("cli")
 
 
 def _cmd_corpus(args) -> int:
@@ -161,11 +174,15 @@ def _cmd_study(args) -> int:
     return 0
 
 
-def _progress_printer(total_hint=None, stream=None, min_interval=0.5):
-    """A throttled ``--progress`` heartbeat for the sweep engine."""
+def _progress_printer(min_interval=0.5):
+    """A throttled ``--progress`` heartbeat for the sweep engine.
+
+    Emits through the ``repro`` logger so each line is one atomic
+    handler ``emit`` — the heartbeat can never tear mid-line even when
+    workers or other threads are writing at the same time.
+    """
     import time
 
-    stream = stream or sys.stderr
     last = [0.0]
 
     def cb(done, total, failed, elapsed) -> None:
@@ -174,9 +191,13 @@ def _progress_printer(total_hint=None, stream=None, min_interval=0.5):
             return
         last[0] = now
         rate = done / elapsed if elapsed > 0 else 0.0
-        stream.write(f"[sweep] {done}/{total} cells, {failed} failed, "
-                     f"{elapsed:.1f}s elapsed ({rate:.0f} cells/s)\n")
-        stream.flush()
+        if 0 < done < total and rate > 0:
+            eta = f", ~{(total - done) / rate:.0f}s left"
+        else:
+            eta = ""
+        log.info("[sweep] %d/%d cells, %d failed, %.1fs elapsed "
+                 "(%.0f cells/s%s)", done, total, failed, elapsed,
+                 rate, eta)
 
     return cb
 
@@ -198,17 +219,33 @@ def _cmd_sweep(args) -> int:
     orderings = (args.orderings.split(",") if args.orderings
                  else list(REORDERINGS))
     kernels = tuple(args.kernels.split(","))
+    if args.trace:
+        # stream every finished span to a sidecar JSONL next to the
+        # final Chrome trace so a killed run still leaves evidence
+        jsonl = args.trace + "l" if args.trace.endswith(".json") \
+            else args.trace + ".jsonl"
+        obs_trace.enable(jsonl_path=jsonl)
     engine = SweepEngine(
         corpus, archs, orderings, kernels=kernels,
         cache=OrderingCache(path=args.cache),
         seed=args.seed, jobs=args.jobs, journal_path=args.journal,
         resume=args.resume, timeout=args.timeout, retries=args.retries,
+        trace=bool(args.trace) or None,
+        manifest_path=args.manifest or None,
         progress=_progress_printer() if args.progress else None)
     sweep = engine.run()
     engine.metrics.stages["generate"] = t_gen.elapsed
+    if args.trace:
+        nevents = obs_trace.TRACER.save(args.trace)
+        obs_trace.disable()
+        obs_trace.TRACER.clear()
+        log.info("wrote %s (%d events; load in https://ui.perfetto.dev)",
+                 args.trace, nevents)
+    if args.manifest:
+        log.info("wrote %s", args.manifest)
     if args.metrics:
         engine.metrics.save(args.metrics)
-        print(f"wrote {args.metrics}")
+        log.info("wrote %s", args.metrics)
     print(render_sweep_summary(engine.metrics, sweep.failed))
     if args.tables:
         names = [a.name for a in archs]
@@ -227,11 +264,35 @@ def _cmd_sweep(args) -> int:
     return 1 if (sweep.failed and args.strict) else 0
 
 
+def _cmd_report(args) -> int:
+    from ..obs.report import check_artifacts, render_report
+
+    journal = args.journal or None
+    manifest = args.manifest or None
+    if args.check:
+        problems = check_artifacts(
+            args.trace, journal, manifest,
+            require_spans=("reorder", "reuse_stats", "model_eval"))
+        if problems:
+            for problem in problems:
+                log.error("report --check: %s", problem)
+            return 1
+        print(f"ok: {args.trace} is a valid Chrome trace with the "
+              "required sweep spans")
+        return 0
+    print(render_report(args.trace, journal, manifest, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Bringing Order to Sparsity' "
                     "(SC '23)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only warnings and errors on stderr")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug-level status on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("corpus", help="list the synthetic corpus")
@@ -319,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default="sweep_metrics.json",
                    help="machine-readable metrics artifact "
                         "(empty string disables)")
+    p.add_argument("--trace", default=None,
+                   help="write a Chrome trace-event JSON file (plus a "
+                        "crash-safe .jsonl sidecar) of every span")
+    p.add_argument("--manifest", default="run_manifest.json",
+                   help="run-manifest artifact (git SHA, seed, corpus "
+                        "signature, package versions; empty string "
+                        "disables)")
     p.add_argument("--tables", action="store_true",
                    help="print the Table 3/4 geomeans afterwards")
     p.add_argument("--strict", action="store_true",
@@ -343,11 +411,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip cells already completed in --journal")
     p.add_argument("--boxplots", action="store_true")
     p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser(
+        "report",
+        help="render (or --check) sweep trace/journal/manifest "
+             "artifacts")
+    p.add_argument("--trace", default="trace.json",
+                   help="Chrome trace-event file written by "
+                        "'sweep --trace'")
+    p.add_argument("--journal", default="",
+                   help="sweep journal JSONL (optional)")
+    p.add_argument("--manifest", default="run_manifest.json",
+                   help="run manifest JSON (empty string skips it)")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of slowest spans to list")
+    p.add_argument("--check", action="store_true",
+                   help="validate the artifacts instead of rendering; "
+                        "exit nonzero on any schema problem")
+    p.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_cli_logging(quiet=args.quiet, verbose=args.verbose)
     return args.func(args)
 
 

@@ -3,10 +3,12 @@
 The paper's core artifact is a (matrix × ordering × architecture ×
 kernel) grid; :class:`SweepEngine` executes that grid
 
-* **in parallel** — tasks fan out over a ``multiprocessing`` pool,
-  chunked by matrix so every ordering of one matrix is computed in the
-  same worker and the per-worker :class:`OrderingCache` pays the
-  reordering cost once across all architectures;
+* **in parallel** — tasks fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, chunked by matrix
+  so every ordering of one matrix is computed in the same worker and
+  the per-worker :class:`OrderingCache` pays the reordering cost once
+  across all architectures; a dead worker breaks only its round, not
+  the sweep (the pool is rebuilt and unfinished tasks resubmitted);
 * **resumably** — every completed cell is journaled to an append-only
   JSONL checkpoint, so an interrupted sweep restarted with
   ``resume=True`` skips finished cells (a torn final line is simply
@@ -15,11 +17,30 @@ kernel) grid; :class:`SweepEngine` executes that grid
   bounded retries; an ordering that raises or times out produces a
   structured :class:`FailedCell` and the sweep keeps going.
 
-Observability is threaded through the run: per-stage wall-clock
-timings (reorder / reuse-stats / model-eval), cache hit-rate
-snapshots, model-statistics reuse counters, worker utilization and
-cell counters are collected into a :class:`SweepMetrics` that
-serialises to ``sweep_metrics.json``.
+Observability is threaded through the run via :mod:`repro.obs`:
+every stage of every cell runs under a **span** (``reorder`` /
+``reuse_stats`` / ``model_eval``, nested inside one ``sweep.task``
+span per matrix), workers ship their buffered trace events and a
+**metrics-registry delta** back with each task outcome, and the
+engine merges both — spans into the global tracer (one Perfetto lane
+per worker pid), deltas into a run-local
+:class:`~repro.obs.metrics.MetricsRegistry`.  Because each worker
+reports only the work it did, and only when a task *finishes*, a
+worker that dies mid-chunk loses its own partial counts but can never
+corrupt or double-count the engine's: its cells are recomputed and
+counted exactly once by whoever completes them.  The aggregate —
+per-stage wall-clock timings, cache hit rates, model-statistics reuse
+counters, worker utilization, cell counts and the full registry
+snapshot — serialises to ``sweep_metrics.json``
+(:class:`SweepMetrics` is a thin view over the registry), and a
+:class:`~repro.obs.manifest.RunManifest` is written next to it.
+
+Worker death is survived, not just journaled around: the process pool
+is a :class:`concurrent.futures.ProcessPoolExecutor`, and when it
+breaks (a worker was OOM-killed or segfaulted) the engine rebuilds it
+and resubmits the unfinished tasks — shrunk by every cell consumed so
+far — within a bounded crash budget; cells that keep killing workers
+become structured :class:`FailedCell` rows with ``stage="worker"``.
 
 Within one matrix the task loop is *ordering-outer*: each (ordering,
 nparts) permutation is computed once, and the reordered matrix —
@@ -31,31 +52,33 @@ cell evaluated on it (see docs/perfmodel.md).
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import signal
 import threading
 import time
+from concurrent.futures import as_completed
+from concurrent.futures.process import (BrokenProcessPool,
+                                        ProcessPoolExecutor)
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 
 from ..errors import HarnessError
-from ..machine import reuse as _reuse_mod
 from ..machine.bench import MeasurementRecord, simulate_measurement
 from ..machine.model import PerfModel
 from ..machine.reuse import ReuseStats
-from ..spmv import schedule as _schedule_mod
+from ..obs import manifest as _manifest
+from ..obs.metrics import REGISTRY, MetricsRegistry
+from ..obs.trace import TRACER, span
 
 JOURNAL_VERSION = 1
 
-
-def _model_counters() -> dict:
-    """Current model-statistics cache counters as one flat dict
-    (reuse builds/hits + schedule builds/hits); tasks snapshot the
-    values before/after and report the delta."""
-    counters = dict(_reuse_mod.COUNTERS)
-    counters.update(_schedule_mod.COUNTERS)
-    return counters
+#: registry-counter → legacy ``sweep_metrics.json`` ``model_stats``
+#: key mapping (the metrics artifact is now a view over the registry).
+_MODEL_STAT_NAMES = {
+    "reuse.builds": "reuse_builds", "reuse.hits": "reuse_hits",
+    "schedule.builds": "schedule_builds",
+    "schedule.hits": "schedule_hits",
+}
 
 
 class CellTimeout(HarnessError):
@@ -66,8 +89,9 @@ class CellTimeout(HarnessError):
 class FailedCell:
     """A structured record of one cell the sweep could not complete.
 
-    ``stage`` names where the failure happened (``"reorder"`` or
-    ``"model-eval"``); ``error`` is the exception class name,
+    ``stage`` names where the failure happened (``"reorder"``,
+    ``"model-eval"``, or ``"worker"`` when the worker process hosting
+    the cell kept dying); ``error`` is the exception class name,
     ``message`` its text.  ``attempts`` counts tries including retries.
     """
 
@@ -214,10 +238,17 @@ class SweepJournal:
 # ----------------------------------------------------------------------
 @dataclass
 class SweepMetrics:
-    """Machine-readable observability artifact of one engine run."""
+    """Machine-readable observability artifact of one engine run.
+
+    Since the obs layer landed this is a thin *view*: ``model_stats``
+    and ``registry`` are populated from the engine's run-local
+    :class:`~repro.obs.metrics.MetricsRegistry` (the merge of every
+    worker's shipped delta), not from hand-maintained dicts.
+    """
 
     jobs: int = 1
     wall_seconds: float = 0.0
+    run_id: str | None = None
     stages: dict = field(default_factory=lambda: {
         "generate": 0.0, "reorder": 0.0, "reuse_stats": 0.0,
         "model_eval": 0.0})
@@ -229,7 +260,8 @@ class SweepMetrics:
         "total": 0, "completed": 0, "resumed": 0, "failed": 0,
         "retried": 0})
     workers: dict = field(default_factory=lambda: {
-        "busy_seconds": {}, "utilization": 0.0})
+        "busy_seconds": {}, "utilization": 0.0, "crash_rounds": 0})
+    registry: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -257,7 +289,8 @@ class _TaskOutcome:
     failures: list               # [FailedCell, ...]
     timings: dict                # stage -> seconds
     cache_stats: dict
-    model_stats: dict            # reuse/schedule counter deltas
+    registry_delta: dict         # MetricsRegistry.delta_since payload
+    trace_events: list           # buffered spans (empty when disabled)
     retried: int
     pid: int
     busy_seconds: float
@@ -275,6 +308,7 @@ class _EngineConfig:
     retries: int
     cache_path: str | None
     model_factory: object | None
+    trace: bool = False
 
 
 _WORKER_CONFIG: _EngineConfig | None = None
@@ -283,6 +317,8 @@ _WORKER_CONFIG: _EngineConfig | None = None
 def _pool_init(config: _EngineConfig) -> None:
     global _WORKER_CONFIG
     _WORKER_CONFIG = config
+    if config.trace and not TRACER.enabled:
+        TRACER.enable()
 
 
 def _pool_run(task: _TaskSpec) -> _TaskOutcome:
@@ -309,7 +345,7 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
     if cache is None:
         cache = OrderingCache(path=config.cache_path)
     stats_before = dict(cache.stats)
-    model_before = _model_counters()
+    registry_before = REGISTRY.snapshot()
     factory = config.model_factory or PerfModel
     entry = task.entry
     a = entry.matrix
@@ -336,14 +372,19 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
                                 for arch, model, _ in wanted
                                 if model.fastpath and model.locality_term})
             t0 = time.perf_counter()
-            reuse = ReuseStats.for_matrix(matrix)
-            reuse.prepare(hot_lines if matrix.nnz else ())
+            with span("reuse_stats", matrix=entry.name,
+                      ordering=ordering_name):
+                reuse = ReuseStats.for_matrix(matrix)
+                reuse.prepare(hot_lines if matrix.nnz else ())
             timings["reuse_stats"] += time.perf_counter() - t0
         for arch, model, kernel in wanted:
             cell = (entry.name, ordering_name, kernel, arch.name)
             t0 = time.perf_counter()
             try:
-                with _deadline(config.timeout):
+                with _deadline(config.timeout), \
+                        span("model_eval", matrix=entry.name,
+                             ordering=ordering_name, kernel=kernel,
+                             arch=arch.name):
                     rec = simulate_measurement(
                         matrix, arch, kernel, entry.name, ordering_name,
                         model=model,
@@ -360,58 +401,67 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
             finally:
                 timings["model_eval"] += time.perf_counter() - t0
 
-    eval_cells(a, "original", models)
-    for name in config.orderings:
-        groups: dict = {}
-        for arch, model in models:
-            key = arch.gp_parts if name == "GP" else 0
-            groups.setdefault(key, []).append((arch, model))
-        for group in groups.values():
-            group_cells = [(entry.name, name, kernel, arch.name)
-                           for arch, _ in group for kernel in config.kernels]
-            if not any(c in task.pending for c in group_cells):
-                continue
-            t0 = time.perf_counter()
-            result = None
-            error = None
-            attempts = 0
-            for attempt in range(config.retries + 1):
-                attempts = attempt + 1
-                try:
-                    with _deadline(config.timeout):
-                        result = cache.get(a, entry.name, name,
-                                           nparts=group[0][0].gp_parts,
-                                           seed=config.seed)
-                    break
-                except Exception as exc:  # noqa: BLE001
-                    error = exc
-                    if attempt < config.retries:
-                        retried += 1
-            timings["reorder"] += time.perf_counter() - t0
-            if result is None:
-                for cell in group_cells:
-                    if cell not in task.pending:
-                        continue
-                    failures.append(FailedCell(
-                        matrix=entry.name, ordering=name, kernel=cell[2],
-                        architecture=cell[3], stage="reorder",
-                        error=type(error).__name__, message=str(error),
-                        attempts=attempts,
-                        seconds=time.perf_counter() - t0))
-                continue
-            eval_cells(result.apply(a), name, group)
+    with span("sweep.task", matrix=entry.name,
+              cells=len(task.pending)):
+        eval_cells(a, "original", models)
+        for name in config.orderings:
+            groups: dict = {}
+            for arch, model in models:
+                key = arch.gp_parts if name == "GP" else 0
+                groups.setdefault(key, []).append((arch, model))
+            for group in groups.values():
+                group_cells = [(entry.name, name, kernel, arch.name)
+                               for arch, _ in group
+                               for kernel in config.kernels]
+                if not any(c in task.pending for c in group_cells):
+                    continue
+                t0 = time.perf_counter()
+                result = None
+                error = None
+                attempts = 0
+                for attempt in range(config.retries + 1):
+                    attempts = attempt + 1
+                    try:
+                        with _deadline(config.timeout), \
+                                span("reorder", matrix=entry.name,
+                                     algo=name, attempt=attempts):
+                            result = cache.get(
+                                a, entry.name, name,
+                                nparts=group[0][0].gp_parts,
+                                seed=config.seed)
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        error = exc
+                        if attempt < config.retries:
+                            retried += 1
+                timings["reorder"] += time.perf_counter() - t0
+                if result is None:
+                    for cell in group_cells:
+                        if cell not in task.pending:
+                            continue
+                        failures.append(FailedCell(
+                            matrix=entry.name, ordering=name,
+                            kernel=cell[2], architecture=cell[3],
+                            stage="reorder", error=type(error).__name__,
+                            message=str(error), attempts=attempts,
+                            seconds=time.perf_counter() - t0))
+                    continue
+                eval_cells(result.apply(a), name, group)
 
     # report *deltas* so caches/counters shared across serial tasks are
-    # not double counted when the engine aggregates per-task stats
+    # not double counted when the engine aggregates per-task stats —
+    # and so a worker that dies before returning contributes nothing
+    # rather than something partial
     stats_after = cache.stats
     delta = {k: stats_after.get(k, 0) - stats_before.get(k, 0)
-             for k in ("hits", "disk_hits", "misses", "requests")}
-    model_after = _model_counters()
-    model_delta = {k: model_after[k] - model_before.get(k, 0)
-                   for k in model_after}
+             for k in ("hits", "disk_hits", "misses", "requests",
+                       "evictions", "size_bytes")}
     return _TaskOutcome(
         records=records, failures=failures, timings=timings,
-        cache_stats=delta, model_stats=model_delta, retried=retried,
+        cache_stats=delta,
+        registry_delta=REGISTRY.delta_since(registry_before),
+        trace_events=TRACER.drain() if config.trace else [],
+        retried=retried,
         pid=os.getpid(), busy_seconds=time.perf_counter() - start)
 
 
@@ -439,10 +489,18 @@ class SweepEngine:
     timeout:
         Per-cell wall-clock budget in seconds (``None`` = unlimited).
     retries:
-        Extra attempts for a failing/timed-out ordering computation.
+        Extra attempts for a failing/timed-out ordering computation
+        (also bounds pool rebuilds after worker deaths).
     progress:
         Optional ``f(done, total, failed, elapsed)`` heartbeat callback,
         invoked as tasks complete.
+    trace:
+        Record spans for every stage of every cell (workers included).
+        ``None`` (default) inherits the global tracer's enabled state,
+        so ``repro.obs.enable()`` before ``run()`` is enough.
+    manifest_path:
+        Where to write the :class:`~repro.obs.manifest.RunManifest`.
+        ``None`` disables it.
     """
 
     def __init__(self, corpus, architectures, orderings,
@@ -450,7 +508,8 @@ class SweepEngine:
                  model_factory=None, seed=0, jobs: int = 1,
                  journal_path: str | None = None, resume: bool = False,
                  timeout: float | None = None, retries: int = 0,
-                 progress=None) -> None:
+                 progress=None, trace: bool | None = None,
+                 manifest_path: str | None = None) -> None:
         if jobs < 1:
             raise HarnessError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
@@ -468,7 +527,11 @@ class SweepEngine:
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.trace = trace
+        self.manifest_path = manifest_path
         self.metrics = SweepMetrics(jobs=jobs)
+        #: run-local merge target of every worker's registry delta
+        self.registry = MetricsRegistry()
 
     # -- cell enumeration ---------------------------------------------
     def signature(self) -> dict:
@@ -513,6 +576,7 @@ class SweepEngine:
         from .runner import OrderingCache, SweepResult
 
         t_start = time.perf_counter()
+        trace_on = (TRACER.enabled if self.trace is None else self.trace)
         all_cells = self.cells()
         completed = self._load_checkpoint()
         # drop journal entries for cells not in this sweep's grid (the
@@ -521,6 +585,19 @@ class SweepEngine:
                      if c in set(all_cells)}
         self.metrics.cells["total"] = len(all_cells)
         self.metrics.cells["resumed"] = len(completed)
+
+        manifest = None
+        if self.manifest_path:
+            manifest = _manifest.collect(
+                seed=self.seed, signature=self.signature(),
+                config={"jobs": self.jobs, "timeout": self.timeout,
+                        "retries": self.retries, "resume": self.resume,
+                        "trace": trace_on,
+                        "journal": self.journal_path,
+                        "kernels": list(self.kernels)})
+            # written up front so even a crashed run has provenance
+            manifest.write(self.manifest_path)
+            self.metrics.run_id = manifest.run_id
 
         journal = None
         if self.journal_path:
@@ -539,7 +616,7 @@ class SweepEngine:
             kernels=self.kernels, seed=self.seed, timeout=self.timeout,
             retries=self.retries,
             cache_path=self.cache.path if self.cache is not None else None,
-            model_factory=self.model_factory)
+            model_factory=self.model_factory, trace=trace_on)
 
         failures: list = []
         done_cells = len(completed)
@@ -561,9 +638,11 @@ class SweepEngine:
                     self.metrics.stages.get(stage, 0.0) + secs)
             self.metrics.cells["retried"] += outcome.retried
             self._merge_cache_stats(outcome.cache_stats)
-            for key, val in outcome.model_stats.items():
-                self.metrics.model_stats[key] = (
-                    self.metrics.model_stats.get(key, 0) + val)
+            # delta-merge the worker's registry: each outcome reports
+            # only its own work, so totals are exact across retries,
+            # resumes and worker deaths
+            self.registry.merge_delta(outcome.registry_delta)
+            TRACER.merge(outcome.trace_events)
             busy[outcome.pid] = (busy.get(outcome.pid, 0.0)
                                  + outcome.busy_seconds)
             if self.progress is not None:
@@ -577,12 +656,8 @@ class SweepEngine:
                 for task in tasks:
                     consume(_run_matrix_task(task, config, cache=cache))
             else:
-                with multiprocessing.Pool(
-                        processes=min(self.jobs, len(tasks)),
-                        initializer=_pool_init,
-                        initargs=(config,)) as pool:
-                    for outcome in pool.imap_unordered(_pool_run, tasks):
-                        consume(outcome)
+                self._run_pool(tasks, config, completed, failures,
+                               consume, journal)
         finally:
             if journal is not None:
                 journal.close()
@@ -596,6 +671,12 @@ class SweepEngine:
         denom = wall * max(1, min(self.jobs, max(1, len(tasks))))
         self.metrics.workers["utilization"] = (
             sum(busy.values()) / denom if denom > 0 else 0.0)
+        # the metrics artifact is a view over the merged registry
+        reg_values = self.registry.values()
+        self.metrics.model_stats = {
+            legacy: reg_values.get(name, 0)
+            for name, legacy in _MODEL_STAT_NAMES.items()}
+        self.metrics.registry = self.registry.snapshot()
 
         result = SweepResult(failed=failures)
         for cell in all_cells:
@@ -603,9 +684,101 @@ class SweepEngine:
                 result.add(completed[cell])
         return result
 
+    def _run_pool(self, tasks, config, completed, failures, consume,
+                  journal) -> None:
+        """Fan tasks out over a process pool, surviving worker death.
+
+        A worker that dies (OOM kill, segfault) breaks the whole
+        :class:`ProcessPoolExecutor`; the engine then rebuilds the pool
+        and resubmits every unfinished task, shrunk by the cells
+        already consumed.  The rebuild budget is bounded
+        (``retries + len(tasks)`` rounds); when it is exhausted — or a
+        lone task keeps killing its worker ``retries + 1`` times — the
+        remaining cells become :class:`FailedCell` rows with
+        ``stage="worker"`` instead of hanging the sweep.
+        """
+        pending: dict = {i: t for i, t in enumerate(tasks)}
+        solo_crashes: dict = {}
+        max_rounds = self.retries + len(tasks)
+        rounds = 0
+
+        def fail_pending(index: int, attempts: int) -> None:
+            task = pending.pop(index)
+            for cell in sorted(task.pending):
+                if cell in completed:
+                    continue
+                failures.append(FailedCell(
+                    matrix=cell[0], ordering=cell[1], kernel=cell[2],
+                    architecture=cell[3], stage="worker",
+                    error="WorkerDied",
+                    message="worker process died while computing this "
+                            "task's cells", attempts=attempts))
+                if journal is not None:
+                    journal.append_failure(failures[-1])
+
+        while pending:
+            broke = False
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(pending)),
+                        initializer=_pool_init,
+                        initargs=(config,)) as pool:
+                    futures = {pool.submit(_pool_run, t): i
+                               for i, t in pending.items()}
+                    for fut in as_completed(futures):
+                        index = futures[fut]
+                        try:
+                            outcome = fut.result()
+                        except BrokenProcessPool:
+                            broke = True
+                            continue  # stays pending; retried next round
+                        except Exception as exc:  # noqa: BLE001
+                            # the task function itself is
+                            # exception-free, so this is infrastructure
+                            # (e.g. an outcome that failed to
+                            # unpickle): fail its cells
+                            failures_before = len(failures)
+                            fail_pending(index, attempts=1)
+                            for f in failures[failures_before:]:
+                                object.__setattr__(f, "error",
+                                                   type(exc).__name__)
+                                object.__setattr__(f, "message",
+                                                   str(exc))
+                            continue
+                        consume(outcome)
+                        del pending[index]
+            except BrokenProcessPool:
+                broke = True  # pool died during submission
+            if not pending:
+                return
+            if not broke:  # pragma: no cover - defensive
+                continue
+            rounds += 1
+            self.metrics.workers["crash_rounds"] = rounds
+            if len(pending) == 1:
+                index = next(iter(pending))
+                solo_crashes[index] = solo_crashes.get(index, 0) + 1
+                if solo_crashes[index] > self.retries:
+                    fail_pending(index, attempts=solo_crashes[index])
+                    continue
+            if rounds >= max_rounds:
+                for index in list(pending):
+                    fail_pending(index, attempts=rounds)
+                return
+            # shrink resubmitted tasks by everything consumed so far
+            for index, task in list(pending.items()):
+                still = frozenset(c for c in task.pending
+                                  if c not in completed)
+                if still:
+                    pending[index] = _TaskSpec(entry=task.entry,
+                                               pending=still)
+                else:
+                    del pending[index]
+
     def _merge_cache_stats(self, stats: dict) -> None:
         agg = self.metrics.cache
-        for key in ("hits", "disk_hits", "misses", "requests"):
+        for key in ("hits", "disk_hits", "misses", "requests",
+                    "evictions", "size_bytes"):
             agg[key] = agg.get(key, 0) + stats.get(key, 0)
         total = agg.get("requests", 0)
         agg["hit_rate"] = ((agg.get("hits", 0) + agg.get("disk_hits", 0))

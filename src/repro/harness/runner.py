@@ -39,9 +39,13 @@ class OrderingCache:
     different seed or structure — can never alias to a stale
     permutation.
 
-    ``stats`` exposes hit/miss counters so downstream consumers (the
-    advisor's serving cache, the benchmark harness) can observe how
-    much reordering work was actually reused.
+    ``stats`` exposes hit/miss counters in the shared cache-stats
+    schema (:data:`repro.obs.CACHE_STATS_KEYS` —
+    ``hits/misses/evictions/hit_rate/size_bytes``) plus the cache's
+    own extras (``disk_hits``, ``requests``), so downstream consumers
+    (the advisor's serving cache, the benchmark harness, the sweep
+    engine) observe every cache the same way.  ``hits`` counts
+    in-memory hits; ``hit_rate`` counts both storage levels.
     """
 
     def __init__(self, path: str | None = None) -> None:
@@ -55,15 +59,18 @@ class OrderingCache:
 
     @property
     def stats(self) -> dict:
-        """Counters: in-memory hits, disk hits, and (computed) misses."""
+        """Shared-schema counters plus ``disk_hits``/``requests``."""
         total = self._hits + self._disk_hits + self._misses
+        size_bytes = sum(r.perm.nbytes for r in self._memory.values())
         return {
             "hits": self._hits,
-            "disk_hits": self._disk_hits,
             "misses": self._misses,
-            "requests": total,
+            "evictions": 0,          # unbounded: nothing is ever dropped
             "hit_rate": ((self._hits + self._disk_hits) / total
                          if total else 0.0),
+            "size_bytes": size_bytes,
+            "disk_hits": self._disk_hits,
+            "requests": total,
         }
 
     @staticmethod

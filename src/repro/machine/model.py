@@ -48,6 +48,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..matrix.csr import CSRMatrix
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span
 from ..spmv.schedule import Schedule, get_schedule
 from .arch import Architecture
 from .reuse import (
@@ -373,6 +375,7 @@ class PerfModel:
         previous-occurrence pass instead of re-deriving line ids and
         per-window distinct counts per cell.
         """
+        REGISTRY.counter("model.predicts").inc()
         prev = None
         if self.fastpath:
             if reuse is None:
@@ -444,13 +447,17 @@ def predict_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
     factory = model_factory or PerfModel
     if reuse is None:
         reuse = ReuseStats.for_matrix(a)
+    architectures = list(architectures)
     out = {}
-    for arch in architectures:
-        model = factory(arch)
-        counts = [arch.threads] if nthreads is None else list(nthreads)
-        for kernel in kernels:
-            for nt in counts:
-                schedule = get_schedule(a, kernel, nt)
-                out[(arch.name, kernel, nt)] = model.predict(
-                    a, schedule, reuse=reuse)
+    with span("model.predict_many", nnz=a.nnz,
+              architectures=len(architectures), kernels=list(kernels)):
+        for arch in architectures:
+            model = factory(arch)
+            counts = ([arch.threads] if nthreads is None
+                      else list(nthreads))
+            for kernel in kernels:
+                for nt in counts:
+                    schedule = get_schedule(a, kernel, nt)
+                    out[(arch.name, kernel, nt)] = model.predict(
+                        a, schedule, reuse=reuse)
     return out

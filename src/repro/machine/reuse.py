@@ -30,22 +30,47 @@ count from them:
   line ids, previous occurrences and row-length-change prefix sums are
   shared across all cells of one (matrix, ordering).
 
-``COUNTERS`` tracks builds and hits so the sweep engine can prove in
-``sweep_metrics.json`` how much recomputation the fast path removed.
+Build/hit counters live in the process-global
+:data:`repro.obs.REGISTRY` (``reuse.builds`` / ``reuse.hits`` /
+``reuse.bytes``) so the sweep engine can prove in
+``sweep_metrics.json`` how much recomputation the fast path removed;
+``COUNTERS`` remains as a live read-only view with the legacy key
+names for existing tests, benchmarks and dashboards.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-#: module-wide observability counters; the sweep engine snapshots them
-#: around each task and reports the delta in ``sweep_metrics.json``.
-COUNTERS = {"reuse_builds": 0, "reuse_hits": 0}
+from ..obs.cachestats import cache_stats
+from ..obs.metrics import REGISTRY, CounterView
+
+_BUILDS = REGISTRY.counter("reuse.builds")
+_HITS = REGISTRY.counter("reuse.hits")
+_BYTES = REGISTRY.counter("reuse.bytes")
+
+#: live view over the registry counters under their legacy key names;
+#: the sweep engine snapshots it around each task and reports the
+#: delta in ``sweep_metrics.json``.
+COUNTERS = CounterView({"reuse_builds": _BUILDS, "reuse_hits": _HITS})
 
 
 def counters_snapshot() -> dict:
-    """A copy of the current counter values."""
+    """A plain-dict copy of the current counter values."""
     return dict(COUNTERS)
+
+
+def reuse_cache_stats() -> dict:
+    """The memoised-statistics cache in the shared cache-stats schema.
+
+    A *build* is a miss (the statistics had to be derived), a served
+    memoised array is a hit; the cache is unbounded per matrix object
+    (entries die with their matrix), so ``evictions`` is always 0.
+    ``size_bytes`` accumulates the bytes of every built
+    previous-occurrence array.
+    """
+    return cache_stats(hits=_HITS.value, misses=_BUILDS.value,
+                       evictions=0, size_bytes=_BYTES.value)
 
 
 # ----------------------------------------------------------------------
@@ -228,11 +253,12 @@ class ReuseStats:
         """Previous-occurrence array of the cache-line id stream."""
         cached = self._prev.get(words_per_line)
         if cached is None:
-            COUNTERS["reuse_builds"] += 1
+            _BUILDS.inc()
             cached = prev_occurrence(self.lines(words_per_line))
+            _BYTES.inc(int(cached.nbytes))
             self._prev[words_per_line] = cached
         else:
-            COUNTERS["reuse_hits"] += 1
+            _HITS.inc()
         return cached
 
     def positions(self, n: int) -> np.ndarray:
@@ -271,7 +297,11 @@ class ReuseStats:
 
     def prepare(self, words_per_lines=(8,)) -> "ReuseStats":
         """Force materialisation of the lazy arrays (for stage timing)."""
-        for wpl in words_per_lines:
-            self.prev(wpl)
-        self.row_change_prefix()
+        from ..obs.trace import span
+
+        with span("reuse.build", nnz=self.matrix.nnz,
+                  line_sizes=list(words_per_lines)):
+            for wpl in words_per_lines:
+                self.prev(wpl)
+            self.row_change_prefix()
         return self

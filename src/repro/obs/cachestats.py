@@ -1,0 +1,136 @@
+"""One cache-statistics schema for every cache in the code base.
+
+Before this module each cache invented its own stats dict:
+``OrderingCache.stats`` reported ``hits/disk_hits/misses/requests``,
+the advisor's LRU caches ``hits/misses/evictions/size/capacity``, and
+the memoised reuse statistics only module counters.  Dashboards and
+tests had to know three shapes.
+
+Every cache now exposes **at least** :data:`CACHE_STATS_KEYS`::
+
+    hits        satisfied lookups (any storage level)
+    misses      lookups that had to compute
+    evictions   entries dropped to stay within capacity (0 if unbounded)
+    hit_rate    hits / (hits + misses), 0.0 when idle
+    size_bytes  best-effort bytes resident in the cache
+
+Caches may add extra keys (``disk_hits``, ``capacity``, ...) but the
+shared keys always exist with these meanings —
+``tests/obs/test_cachestats.py`` pins the shape for all of them.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+__all__ = ["CACHE_STATS_KEYS", "CacheStatCounters", "cache_stats",
+           "sizeof_value"]
+
+#: the keys every cache's ``stats`` mapping must expose.
+CACHE_STATS_KEYS = ("hits", "misses", "evictions", "hit_rate",
+                    "size_bytes")
+
+
+def cache_stats(hits: int = 0, misses: int = 0, evictions: int = 0,
+                size_bytes: int = 0, **extra) -> dict:
+    """Assemble a stats dict in the shared schema (plus extras)."""
+    total = hits + misses
+    out = {
+        "hits": int(hits),
+        "misses": int(misses),
+        "evictions": int(evictions),
+        "hit_rate": hits / total if total else 0.0,
+        "size_bytes": int(size_bytes),
+    }
+    out.update(extra)
+    return out
+
+
+def sizeof_value(value) -> int:
+    """Best-effort resident size of one cached value.
+
+    Prefers NumPy's exact ``nbytes`` (covers permutations, feature
+    vectors and statistics arrays); falls back to
+    ``sys.getsizeof``.  Containers report the sum over their items
+    plus their own overhead.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sys.getsizeof(value) + sum(sizeof_value(v) for v in value)
+    if isinstance(value, dict):
+        return sys.getsizeof(value) + sum(
+            sizeof_value(k) + sizeof_value(v) for k, v in value.items())
+    # dataclass-ish objects: count their public ndarray attributes
+    arrays = [a for a in (getattr(value, f, None)
+                          for f in getattr(value, "__dataclass_fields__", ()))
+              if getattr(a, "nbytes", None) is not None]
+    if arrays:
+        return sys.getsizeof(value) + sum(a.nbytes for a in arrays)
+    try:
+        return sys.getsizeof(value)
+    except TypeError:  # pragma: no cover - exotic objects
+        return 0
+
+
+class CacheStatCounters:
+    """A thread-safe hit/miss/eviction/bytes bundle.
+
+    Caches embed one of these and surface ``.snapshot()`` (optionally
+    with extra keys) as their ``stats``.  ``delta`` and ``merge``
+    mirror the registry's shipping protocol so per-worker cache stats
+    aggregate the same way counters do.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "_size_bytes", "_lock")
+
+    def __init__(self) -> None:
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._size_bytes = 0
+        self._lock = threading.Lock()
+
+    def hit(self, n: int = 1) -> None:
+        with self._lock:
+            self._hits += n
+
+    def miss(self, n: int = 1) -> None:
+        with self._lock:
+            self._misses += n
+
+    def evict(self, n: int = 1, freed_bytes: int = 0) -> None:
+        with self._lock:
+            self._evictions += n
+            self._size_bytes = max(0, self._size_bytes - freed_bytes)
+
+    def grow(self, added_bytes: int) -> None:
+        with self._lock:
+            self._size_bytes += added_bytes
+
+    def set_size_bytes(self, total: int) -> None:
+        with self._lock:
+            self._size_bytes = int(total)
+
+    def snapshot(self, **extra) -> dict:
+        with self._lock:
+            return cache_stats(self._hits, self._misses, self._evictions,
+                               self._size_bytes, **extra)
+
+    @staticmethod
+    def delta(after: dict, before: dict) -> dict:
+        """``after - before`` over the countable shared keys."""
+        d = {k: after.get(k, 0) - before.get(k, 0)
+             for k in ("hits", "misses", "evictions", "size_bytes")}
+        return cache_stats(**d)
+
+    @staticmethod
+    def merge(into: dict, delta: dict, keys=None) -> dict:
+        """Accumulate a delta into a running stats dict (in place)."""
+        for k in keys or ("hits", "misses", "evictions", "size_bytes"):
+            into[k] = into.get(k, 0) + delta.get(k, 0)
+        total = into.get("hits", 0) + into.get("misses", 0)
+        into["hit_rate"] = into.get("hits", 0) / total if total else 0.0
+        return into

@@ -1,0 +1,67 @@
+"""Logging setup for the CLI and long-running sweeps.
+
+The CLI used bare ``print()`` for status lines, which interleaves
+badly when a ``--jobs N`` sweep's heartbeat races with other output.
+This module wires the standard :mod:`logging` machinery instead:
+
+* data output (tables, rankings) stays on **stdout** via ``print`` so
+  pipelines keep working;
+* status, progress and diagnostics go through the ``"repro"`` logger
+  to **stderr**, one atomic ``emit`` per line (the stdlib handler
+  holds a lock around each record, so heartbeat lines from the
+  progress thread can never tear);
+* ``--quiet`` raises the threshold to WARNING, ``--verbose`` lowers
+  it to DEBUG.
+
+Library code asks for a child logger with :func:`get_logger` and never
+configures handlers itself; an application that embeds repro keeps
+full control of logging configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "setup_cli_logging", "LOGGER_NAME"]
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(suffix: str | None = None) -> logging.Logger:
+    """The package logger, or a dotted child (``get_logger("sweep")``
+    → ``repro.sweep``)."""
+    name = LOGGER_NAME if not suffix else f"{LOGGER_NAME}.{suffix}"
+    return logging.getLogger(name)
+
+
+def setup_cli_logging(quiet: bool = False, verbose: bool = False,
+                      stream=None) -> logging.Logger:
+    """Configure the CLI's stderr handler (idempotent).
+
+    ``quiet`` wins over ``verbose`` when both are passed.  Returns the
+    package logger.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    level = (logging.WARNING if quiet
+             else logging.DEBUG if verbose else logging.INFO)
+    logger.setLevel(level)
+    stream = stream if stream is not None else sys.stderr
+    # reuse the handler across repeated main() calls (tests) instead of
+    # stacking duplicates
+    for h in logger.handlers:
+        if getattr(h, "_repro_cli", False):
+            h.setLevel(level)
+            # plain assignment, not setStream(): setStream flushes the
+            # outgoing stream first, which raises if a previous owner
+            # (e.g. a test's captured stderr) already closed it
+            h.stream = stream
+            break
+    else:
+        handler = logging.StreamHandler(stream)
+        handler.setLevel(level)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,155 @@
+"""Run manifests: who/what/when for every sweep or bench artifact.
+
+A ``sweep_metrics.json`` or ``trace.json`` without provenance is a
+number without units: six months later nobody knows which git SHA,
+seed, or corpus produced it.  :func:`collect` gathers
+
+* a **run id** (timestamp + pid + random suffix, unique per run),
+* the **git SHA** of the working tree (plus a dirty flag) when the
+  package lives inside a git checkout,
+* the **seed** and the sweep's **corpus signature** (the same
+  signature dict the journal header carries, so a manifest can be
+  matched to its journal),
+* the caller's **config** (CLI arguments or engine parameters),
+* **package versions** (numpy/scipy and repro itself), the Python
+  version and the platform string,
+
+and :meth:`RunManifest.write` drops it as ``run_manifest.json`` next
+to the artifact.  Everything is best-effort and exception-free: a
+missing git binary or an unusual install simply leaves fields null —
+a manifest must never be the reason a sweep fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["RunManifest", "collect", "MANIFEST_VERSION",
+           "REQUIRED_FIELDS"]
+
+MANIFEST_VERSION = 1
+
+#: fields ``repro report --check`` requires in a valid manifest.
+REQUIRED_FIELDS = ("version", "run_id", "created_unix", "python",
+                   "platform", "packages", "config")
+
+
+@dataclass
+class RunManifest:
+    """The provenance record written next to every run artifact."""
+
+    run_id: str
+    created_unix: float
+    created: str                       # ISO-8601 UTC
+    python: str
+    platform: str
+    argv: list = field(default_factory=list)
+    git_sha: str | None = None
+    git_dirty: bool | None = None
+    seed: object = None
+    signature: dict | None = None      # sweep corpus signature
+    config: dict = field(default_factory=dict)
+    packages: dict = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path: str) -> str:
+        with open(path, "wt") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path
+
+    @staticmethod
+    def load(path: str) -> "RunManifest":
+        with open(path, "rt") as f:
+            data = json.load(f)
+        known = {f.name for f in
+                 RunManifest.__dataclass_fields__.values()}  # type: ignore
+        return RunManifest(**{k: v for k, v in data.items() if k in known})
+
+    @staticmethod
+    def validate(data: dict) -> list:
+        """Problems with a manifest dict; empty means valid."""
+        problems = []
+        for key in REQUIRED_FIELDS:
+            if key not in data:
+                problems.append(f"manifest: missing required field {key!r}")
+        if data.get("version", MANIFEST_VERSION) > MANIFEST_VERSION:
+            problems.append(
+                f"manifest: version {data['version']} is newer than this "
+                f"reader ({MANIFEST_VERSION})")
+        return problems
+
+
+def _git_state() -> tuple:
+    """(sha, dirty) of the repo containing this package, else (None,
+    None).  Never raises."""
+    root = os.path.dirname(os.path.abspath(__file__))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, timeout=5,
+            capture_output=True, text=True)
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=root, timeout=5,
+            capture_output=True, text=True)
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 \
+            else None
+        return sha.stdout.strip(), dirty
+    except Exception:
+        return None, None
+
+
+def _package_versions() -> dict:
+    versions = {}
+    for name in ("numpy", "scipy"):
+        try:
+            versions[name] = __import__(name).__version__
+        except Exception:
+            versions[name] = None
+    try:
+        from importlib.metadata import version
+        versions["repro"] = version("repro-order-to-sparsity")
+    except Exception:
+        versions["repro"] = None
+    return versions
+
+
+def collect(seed=None, signature: dict | None = None,
+            config: dict | None = None, run_id: str | None = None,
+            argv: list | None = None) -> RunManifest:
+    """Gather the manifest for the current process/run.
+
+    ``signature`` is the sweep signature dict (corpus, architectures,
+    orderings, kernels, seed) when the artifact belongs to a sweep;
+    ``config`` holds whatever knobs produced the artifact.
+    """
+    now = time.time()
+    if run_id is None:
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
+        run_id = f"{stamp}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    sha, dirty = _git_state()
+    return RunManifest(
+        run_id=run_id,
+        created_unix=now,
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        python=platform.python_version(),
+        platform=platform.platform(),
+        argv=list(sys.argv if argv is None else argv),
+        git_sha=sha, git_dirty=dirty,
+        seed=seed if isinstance(seed, (int, float, str, type(None)))
+        else repr(seed),
+        signature=signature,
+        config=dict(config or {}),
+        packages=_package_versions(),
+    )

@@ -1,0 +1,311 @@
+"""Render and validate observability artifacts (``repro report``).
+
+Consumes the three artifacts a traced sweep leaves behind —
+``trace.json`` (Chrome trace events), the JSONL journal, and
+``run_manifest.json`` — and renders per-stage / per-algorithm time
+breakdowns plus the top-k slowest spans, the same decomposition the
+paper uses to explain its results (per-stage reordering overhead in
+Table 5 against the per-cell speedups of Figs. 2–5).
+
+:func:`validate_trace` doubles as the schema gate behind
+``repro report --check``: every event must carry the Chrome
+trace-event required keys, ``ts``/``dur`` must be non-negative and
+mutually consistent (complete ``X`` events on one thread either nest
+or are disjoint — a partial overlap means a broken clock or a torn
+merge), and ``B``/``E`` duration events must match up per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+
+__all__ = ["load_trace", "validate_trace", "stage_breakdown",
+           "attr_breakdown", "top_spans", "render_report",
+           "check_artifacts"]
+
+#: tolerance (µs) for nesting checks, covering ts/dur rounding.
+_EPS_US = 0.01
+
+_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+
+
+# ----------------------------------------------------------------------
+# loading & validation
+# ----------------------------------------------------------------------
+def load_trace(path: str) -> list:
+    """Events of a Chrome trace file (object or bare-array format)."""
+    with open(path, "rt") as f:
+        data = json.load(f)
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError(
+                f"{path}: trace object has no 'traceEvents' array")
+        return events
+    if isinstance(data, list):
+        return data
+    raise ValueError(f"{path}: neither a trace object nor an event array")
+
+
+def validate_trace(events: list) -> list:
+    """Schema problems of a trace-event list; empty means valid."""
+    problems = []
+    by_thread = defaultdict(list)
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event #{i}: not an object")
+            continue
+        missing = [k for k in _REQUIRED if k not in ev]
+        if missing:
+            problems.append(f"event #{i}: missing keys {missing}")
+            continue
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            problems.append(f"event #{i}: name must be a non-empty string")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event #{i}: ts must be a number >= 0, "
+                            f"got {ts!r}")
+            continue
+        ph = ev["ph"]
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event #{i}: X event needs dur >= 0, got {dur!r}")
+                continue
+        elif ph not in ("B", "E", "i", "I", "M", "C"):
+            problems.append(f"event #{i}: unknown phase {ph!r}")
+            continue
+        by_thread[(ev["pid"], ev["tid"])].append((ts, i, ev))
+
+    for (pid, tid), rows in by_thread.items():
+        rows.sort(key=lambda r: r[0])
+        open_be = []          # B/E stack: (name, ts)
+        open_ends = []        # X nesting stack: end timestamps
+        for ts, i, ev in rows:
+            ph = ev["ph"]
+            if ph == "B":
+                open_be.append((ev["name"], ts))
+            elif ph == "E":
+                if not open_be:
+                    problems.append(
+                        f"event #{i} (pid {pid} tid {tid}): E without "
+                        "a matching B")
+                else:
+                    name, t0 = open_be.pop()
+                    if ts < t0:
+                        problems.append(
+                            f"event #{i}: E at {ts} precedes its B at "
+                            f"{t0}")
+            elif ph == "X":
+                end = ts + ev["dur"]
+                while open_ends and open_ends[-1] <= ts + _EPS_US:
+                    open_ends.pop()
+                if open_ends and end > open_ends[-1] + _EPS_US:
+                    problems.append(
+                        f"event #{i} ({ev['name']!r}, pid {pid} tid "
+                        f"{tid}): span [{ts}, {end}] partially overlaps "
+                        "an enclosing span — ts/dur are not "
+                        "monotonically consistent")
+                open_ends.append(end)
+        for name, t0 in open_be:
+            problems.append(
+                f"pid {pid} tid {tid}: B event {name!r} at {t0} never "
+                "closed (missing E)")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def _complete(events: list) -> list:
+    return [ev for ev in events
+            if isinstance(ev, dict) and ev.get("ph") == "X"
+            and isinstance(ev.get("dur"), (int, float))]
+
+
+def stage_breakdown(events: list) -> dict:
+    """``{span name: {count, total_s, mean_ms, max_ms}}``."""
+    agg: dict = {}
+    for ev in _complete(events):
+        row = agg.setdefault(ev["name"],
+                             {"count": 0, "total_us": 0.0, "max_us": 0.0})
+        row["count"] += 1
+        row["total_us"] += ev["dur"]
+        row["max_us"] = max(row["max_us"], ev["dur"])
+    return {
+        name: {"count": r["count"],
+               "total_s": r["total_us"] / 1e6,
+               "mean_ms": r["total_us"] / r["count"] / 1e3,
+               "max_ms": r["max_us"] / 1e3}
+        for name, r in agg.items()}
+
+
+def attr_breakdown(events: list, span_name: str, attr: str) -> dict:
+    """Per-``args[attr]`` breakdown of one span family (e.g. the
+    ``reorder`` spans keyed by ``algo``)."""
+    picked = [ev for ev in _complete(events)
+              if ev["name"] == span_name
+              and attr in (ev.get("args") or {})]
+    agg: dict = {}
+    for ev in picked:
+        key = str(ev["args"][attr])
+        row = agg.setdefault(key, {"count": 0, "total_us": 0.0,
+                                   "max_us": 0.0})
+        row["count"] += 1
+        row["total_us"] += ev["dur"]
+        row["max_us"] = max(row["max_us"], ev["dur"])
+    return {
+        key: {"count": r["count"],
+              "total_s": r["total_us"] / 1e6,
+              "mean_ms": r["total_us"] / r["count"] / 1e3,
+              "max_ms": r["max_us"] / 1e3}
+        for key, r in agg.items()}
+
+
+def top_spans(events: list, k: int = 10) -> list:
+    """The k slowest complete spans, slowest first."""
+    spans = sorted(_complete(events), key=lambda ev: -ev["dur"])
+    return spans[:k]
+
+
+def _span_label(ev: dict) -> str:
+    args = ev.get("args") or {}
+    parts = [f"{key}={args[key]}" for key in
+             ("matrix", "algo", "ordering", "kernel", "arch")
+             if key in args]
+    return f"{ev['name']}" + (f" [{', '.join(parts)}]" if parts else "")
+
+
+# ----------------------------------------------------------------------
+# rendering & checking
+# ----------------------------------------------------------------------
+def _load_journal_summary(path: str) -> dict:
+    from ..harness.engine import SweepJournal  # lazy: obs stays light
+
+    signature, records, failures = SweepJournal.load(path)
+    return {"signature": signature, "records": len(records),
+            "failures": len(failures)}
+
+
+def render_report(trace_path: str | None = None,
+                  journal_path: str | None = None,
+                  manifest_path: str | None = None,
+                  top: int = 10) -> str:
+    """The human-readable ``repro report`` text."""
+    from ..util import format_table
+
+    lines = ["observability report"]
+    events: list = []
+
+    if manifest_path and os.path.exists(manifest_path):
+        with open(manifest_path, "rt") as f:
+            man = json.load(f)
+        sha = (man.get("git_sha") or "?")[:12]
+        dirty = " (dirty)" if man.get("git_dirty") else ""
+        lines.append(
+            f"  manifest   run {man.get('run_id', '?')}, git {sha}"
+            f"{dirty}, seed {man.get('seed')}, "
+            f"created {man.get('created', '?')}")
+    if journal_path and os.path.exists(journal_path):
+        j = _load_journal_summary(journal_path)
+        lines.append(
+            f"  journal    {journal_path}: {j['records']} records, "
+            f"{j['failures']} failure rows")
+    if trace_path and os.path.exists(trace_path):
+        events = load_trace(trace_path)
+        pids = {ev.get("pid") for ev in events if isinstance(ev, dict)}
+        lines.append(
+            f"  trace      {trace_path}: {len(events)} events from "
+            f"{len(pids)} process(es)")
+    if len(lines) == 1:
+        return "observability report: no artifacts found"
+
+    if events:
+        stages = stage_breakdown(events)
+        if stages:
+            rows = [[name, r["count"], f"{r['total_s']:.3f}",
+                     f"{r['mean_ms']:.2f}", f"{r['max_ms']:.2f}"]
+                    for name, r in sorted(stages.items(),
+                                          key=lambda kv: -kv[1]["total_s"])]
+            lines += ["", "per-stage breakdown",
+                      format_table(["stage", "spans", "total s",
+                                    "mean ms", "max ms"], rows)]
+        for span_name, attr, title in (
+                ("reorder", "algo", "reordering time by algorithm"),
+                ("model_eval", "ordering", "model evaluation by ordering"),
+                ("model_eval", "arch", "model evaluation by architecture")):
+            groups = attr_breakdown(events, span_name, attr)
+            if groups:
+                rows = [[key, r["count"], f"{r['total_s']:.3f}",
+                         f"{r['mean_ms']:.2f}", f"{r['max_ms']:.2f}"]
+                        for key, r in sorted(
+                            groups.items(),
+                            key=lambda kv: -kv[1]["total_s"])]
+                lines += ["", title,
+                          format_table([attr, "spans", "total s",
+                                        "mean ms", "max ms"], rows)]
+        slowest = top_spans(events, top)
+        if slowest:
+            rows = [[i + 1, _span_label(ev), f"{ev['dur'] / 1e3:.2f}",
+                     ev.get("pid", "?")]
+                    for i, ev in enumerate(slowest)]
+            lines += ["", f"top {len(slowest)} slowest spans",
+                      format_table(["#", "span", "ms", "pid"], rows)]
+    return "\n".join(lines)
+
+
+def check_artifacts(trace_path: str | None = None,
+                    journal_path: str | None = None,
+                    manifest_path: str | None = None,
+                    require_spans=()) -> list:
+    """Validate artifacts for CI (``repro report --check``).
+
+    Returns the list of problems (empty = pass).  ``require_spans``
+    optionally names span families that must appear in the trace (the
+    smoke job requires ``reorder``, ``reuse_stats``, ``model_eval``).
+    """
+    from .manifest import RunManifest
+
+    problems = []
+    events: list = []
+    if trace_path:
+        if not os.path.exists(trace_path):
+            problems.append(f"trace: {trace_path} does not exist")
+        else:
+            try:
+                events = load_trace(trace_path)
+            except (ValueError, json.JSONDecodeError) as exc:
+                problems.append(f"trace: {exc}")
+            else:
+                if not events:
+                    problems.append("trace: no events recorded")
+                problems += [f"trace: {p}" for p in validate_trace(events)]
+                names = {ev.get("name") for ev in events
+                         if isinstance(ev, dict)}
+                for want in require_spans:
+                    if want not in names:
+                        problems.append(
+                            f"trace: required span {want!r} absent")
+    if journal_path:
+        if not os.path.exists(journal_path):
+            problems.append(f"journal: {journal_path} does not exist")
+        else:
+            try:
+                _load_journal_summary(journal_path)
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                problems.append(f"journal: {exc}")
+    if manifest_path:
+        if not os.path.exists(manifest_path):
+            problems.append(f"manifest: {manifest_path} does not exist")
+        else:
+            try:
+                with open(manifest_path, "rt") as f:
+                    data = json.load(f)
+            except (OSError, json.JSONDecodeError) as exc:
+                problems.append(f"manifest: {exc}")
+            else:
+                problems += RunManifest.validate(data)
+    return problems

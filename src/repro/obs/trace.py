@@ -1,0 +1,216 @@
+"""Span tracer serialising to Chrome trace-event JSON and JSONL.
+
+One call site::
+
+    from repro.obs import span
+
+    with span("reorder", algo="RCM", matrix="stencil2d"):
+        ...
+
+Spans nest (per-thread), are thread-safe, and use the monotonic
+``time.perf_counter`` clock — on Linux that is ``CLOCK_MONOTONIC``,
+which is system-wide, so spans recorded in sweep worker *processes*
+line up with the parent's on a common time axis.
+
+Tracing is **disabled by default** and the disabled path is a no-op
+fast path: ``span(...)`` performs one attribute check and returns a
+shared singleton context manager — no allocation, no clock read, no
+lock (``benchmarks/bench_obs_overhead.py`` gates the overhead at
+< 5 % of an uninstrumented run).
+
+When enabled, every finished span becomes one Chrome *complete* event
+(``"ph": "X"``) with microsecond ``ts``/``dur``, the recording
+process id and thread id, and the span's keyword attributes under
+``args``.  :meth:`Tracer.save` writes the
+``{"traceEvents": [...]}`` JSON object format, loadable directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; enabling
+with ``jsonl_path`` additionally appends each event as one JSON line
+to an append-only log the moment it finishes, so a killed process
+loses at most a torn final line (the same contract as the sweep
+journal).
+
+Worker shipping: a sweep worker drains its buffered events with
+:meth:`Tracer.drain` into the task outcome; the engine merges them
+with :meth:`Tracer.merge`.  Because events carry their own ``pid``,
+a merged trace shows one lane per worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = ["Tracer", "TRACER", "span", "enable", "disable", "is_enabled"]
+
+#: schema constants for one Chrome complete event
+_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+class _NopSpan:
+    """The shared disabled-tracing span: enters and exits for free."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NopSpan":
+        return self
+
+
+_NOP = _NopSpan()
+
+
+class _LiveSpan:
+    """One enabled span; records a complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def set(self, **attrs) -> "_LiveSpan":
+        """Attach attributes discovered mid-span (e.g. a result size)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        self._tracer._record(self.name, self._t0, t1 - self._t0, self.args)
+        return False
+
+
+class Tracer:
+    """Buffering span recorder with Chrome trace-event output."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._events: list = []
+        self._lock = threading.Lock()
+        self._jsonl_path: str | None = None
+        self._jsonl_fh = None
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **args):
+        """A context manager timing one named span.
+
+        The disabled fast path returns a shared no-op singleton; keep
+        this call on hot paths only if the work inside dwarfs one
+        attribute check (the engine's per-cell spans qualify).
+        """
+        if not self.enabled:
+            return _NOP
+        return _LiveSpan(self, name, args)
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker event."""
+        if self.enabled:
+            self._record(name, time.perf_counter(), 0.0, args, ph="i")
+
+    def _record(self, name: str, t0: float, dur: float, args: dict,
+                ph: str = "X") -> None:
+        event = {
+            "name": name, "ph": ph, "cat": "repro",
+            "ts": round(t0 * 1e6, 3), "dur": round(dur * 1e6, 3),
+            "pid": os.getpid(), "tid": threading.get_ident(),
+        }
+        if ph == "i":
+            event.pop("dur")
+            event["s"] = "p"  # process-scoped instant
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+            if self._jsonl_fh is not None:
+                self._jsonl_fh.write(json.dumps(event) + "\n")
+                self._jsonl_fh.flush()
+
+    # -- buffers ---------------------------------------------------------
+    def events(self) -> list:
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> list:
+        """Pop and return every buffered event (worker shipping)."""
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def merge(self, events) -> None:
+        """Append events shipped from another tracer (another process)."""
+        if not events:
+            return
+        with self._lock:
+            self._events.extend(events)
+
+    def clear(self) -> None:
+        self.drain()
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self, jsonl_path: str | None = None) -> None:
+        """Turn tracing on, optionally mirroring events to a JSONL log."""
+        if jsonl_path:
+            self._jsonl_path = jsonl_path
+            self._jsonl_fh = open(jsonl_path, "at")
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        if self._jsonl_fh is not None:
+            self._jsonl_fh.close()
+            self._jsonl_fh = None
+            self._jsonl_path = None
+
+    # -- output ----------------------------------------------------------
+    def save(self, path: str, extra_events=None) -> int:
+        """Write the Chrome trace-event JSON object format.
+
+        Returns the number of events written.  The buffer is *not*
+        cleared, so a trace can be saved incrementally.
+        """
+        events = self.events()
+        if extra_events:
+            events = events + list(extra_events)
+        events.sort(key=lambda e: (e.get("pid", 0), e.get("ts", 0.0)))
+        with open(path, "wt") as f:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ms",
+                       "otherData": {"producer": "repro.obs"}}, f)
+            f.write("\n")
+        return len(events)
+
+
+#: the process-global tracer; ``repro.obs.span`` records into it.
+TRACER = Tracer()
+
+
+def span(name: str, **args):
+    """Module-level shorthand for ``TRACER.span`` (the common spelling
+    at instrumentation sites)."""
+    if not TRACER.enabled:
+        return _NOP
+    return _LiveSpan(TRACER, name, args)
+
+
+def enable(jsonl_path: str | None = None) -> None:
+    TRACER.enable(jsonl_path)
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from ..errors import ReorderingError
 from ..matrix.csr import CSRMatrix
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span
 from .amd import amd_ordering
 from .gp import gp_ordering
 from .gray import gray_ordering
@@ -54,12 +56,14 @@ def compute_ordering(a: CSRMatrix, name: str, nparts: int = 64,
         raise ReorderingError(
             f"unknown ordering {name!r}; known: "
             f"{ALL_ORDERINGS + EXTRA_ORDERINGS}")
-    if name == "GP":
-        return gp_ordering(a, nparts=nparts, seed=seed)
-    if name == "HP":
-        return hp_ordering(a, seed=seed)
-    if name == "ND":
-        return nd_ordering(a, seed=seed)
-    if name == "TSP":
-        return tsp_ordering(a, seed=seed)
-    return ORDERING_FUNCS[name](a)
+    REGISTRY.counter(f"reorder.computed.{name}").inc()
+    with span("ordering.compute", algo=name, nrows=a.nrows, nnz=a.nnz):
+        if name == "GP":
+            return gp_ordering(a, nparts=nparts, seed=seed)
+        if name == "HP":
+            return hp_ordering(a, seed=seed)
+        if name == "ND":
+            return nd_ordering(a, seed=seed)
+        if name == "TSP":
+            return tsp_ordering(a, seed=seed)
+        return ORDERING_FUNCS[name](a)

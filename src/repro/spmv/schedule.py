@@ -8,6 +8,7 @@ import numpy as np
 
 from ..errors import ScheduleError
 from ..matrix.csr import CSRMatrix
+from ..obs.metrics import REGISTRY, CounterView
 from ..util.validate import require
 
 
@@ -112,9 +113,19 @@ def schedule_merge(a: CSRMatrix, nthreads: int) -> Schedule:
                     entry_start=entry_start, row_start=row_start)
 
 
-#: schedule-cache observability counters; the sweep engine snapshots
-#: them around each task and reports the delta in sweep_metrics.json.
-COUNTERS = {"schedule_builds": 0, "schedule_hits": 0}
+_BUILDS = REGISTRY.counter("schedule.builds")
+_HITS = REGISTRY.counter("schedule.hits")
+
+#: live view over the registry's schedule-cache counters under their
+#: legacy key names; the sweep engine snapshots them around each task
+#: and reports the delta in sweep_metrics.json.
+COUNTERS = CounterView({"schedule_builds": _BUILDS,
+                        "schedule_hits": _HITS})
+
+
+def counters_snapshot() -> dict:
+    """A plain-dict copy of the current counter values."""
+    return dict(COUNTERS)
 
 
 def get_schedule(a: CSRMatrix, kind: str, nthreads: int) -> Schedule:
@@ -135,7 +146,7 @@ def get_schedule(a: CSRMatrix, kind: str, nthreads: int) -> Schedule:
     key = (kind, int(nthreads))
     schedule = cache.get(key)
     if schedule is not None:
-        COUNTERS["schedule_hits"] += 1
+        _HITS.inc()
         return schedule
     if kind == "1d":
         schedule = schedule_1d(a, nthreads)
@@ -146,7 +157,7 @@ def get_schedule(a: CSRMatrix, kind: str, nthreads: int) -> Schedule:
     else:
         raise ScheduleError(f"unknown kernel {kind!r}")
     cache[key] = schedule
-    COUNTERS["schedule_builds"] += 1
+    _BUILDS.inc()
     return schedule
 
 

@@ -1,0 +1,98 @@
+"""Every cache in the code base speaks the shared stats schema."""
+
+import numpy as np
+import pytest
+
+from repro.obs.cachestats import (
+    CACHE_STATS_KEYS,
+    CacheStatCounters,
+    cache_stats,
+    sizeof_value,
+)
+
+
+def _assert_shared_shape(stats: dict) -> None:
+    for key in CACHE_STATS_KEYS:
+        assert key in stats, f"missing shared key {key!r}"
+    assert stats["hits"] >= 0 and stats["misses"] >= 0
+    assert stats["evictions"] >= 0 and stats["size_bytes"] >= 0
+    assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+def test_cache_stats_helper_computes_hit_rate():
+    s = cache_stats(hits=3, misses=1, size_bytes=64, extra_key=9)
+    _assert_shared_shape(s)
+    assert s["hit_rate"] == pytest.approx(0.75)
+    assert s["extra_key"] == 9
+    assert cache_stats()["hit_rate"] == 0.0  # idle cache, no div-by-zero
+
+
+def test_sizeof_value_prefers_nbytes():
+    arr = np.zeros(10, dtype=np.int64)
+    assert sizeof_value(arr) == 80
+    assert sizeof_value([arr, arr]) >= 160
+    assert sizeof_value({"k": arr}) >= 80
+    assert sizeof_value("text") > 0
+
+
+def test_cache_stat_counters_delta_and_merge():
+    c = CacheStatCounters()
+    c.miss()
+    c.grow(100)
+    before = c.snapshot()
+    c.hit(3)
+    c.evict(freed_bytes=40)
+    delta = CacheStatCounters.delta(c.snapshot(), before)
+    assert delta["hits"] == 3 and delta["misses"] == 0
+    assert delta["evictions"] == 1 and delta["size_bytes"] == -40
+    agg = cache_stats(hits=1, misses=1)
+    CacheStatCounters.merge(agg, delta)
+    assert agg["hits"] == 4 and agg["hit_rate"] == pytest.approx(0.8)
+
+
+# ----------------------------------------------------------------------
+# the three real caches all expose the shared keys (regression)
+# ----------------------------------------------------------------------
+def test_ordering_cache_stats_shape(small_symmetric_matrix):
+    from repro.harness.runner import OrderingCache
+
+    cache = OrderingCache()
+    cache.get(small_symmetric_matrix, "m", "RCM", nparts=4, seed=0)
+    cache.get(small_symmetric_matrix, "m", "RCM", nparts=4, seed=0)
+    stats = cache.stats
+    _assert_shared_shape(stats)
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["requests"] == 2  # extras stay
+    assert stats["size_bytes"] > 0  # one permutation resident
+
+
+def test_advisor_lru_cache_stats_shape():
+    from repro.advisor.cache import LRUCache
+
+    cache = LRUCache(capacity=2)
+    cache.get("a")                      # miss
+    cache.put("a", np.arange(4))
+    cache.get("a")                      # hit
+    cache.put("b", np.arange(4))
+    cache.put("c", np.arange(4))        # evicts "a"
+    stats = cache.stats
+    _assert_shared_shape(stats)
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2 and stats["capacity"] == 2
+    assert stats["size_bytes"] >= 2 * np.arange(4).nbytes
+
+
+def test_reuse_stats_cache_shape(small_symmetric_matrix):
+    from repro.machine.reuse import ReuseStats, reuse_cache_stats
+
+    before = reuse_cache_stats()
+    stats_obj = ReuseStats.for_matrix(small_symmetric_matrix)
+    stats_obj.prev(8)
+    stats_obj.prev(8)
+    after = reuse_cache_stats()
+    _assert_shared_shape(after)
+    assert after["misses"] == before["misses"] + 1  # one build
+    assert after["hits"] == before["hits"] + 1      # one memoised serve
+    assert after["size_bytes"] > before["size_bytes"]
+    assert after["evictions"] == 0  # unbounded, dies with the matrix
