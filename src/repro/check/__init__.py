@@ -1,0 +1,54 @@
+"""repro.check — differential testing and invariant oracle layer.
+
+Cross-validates the fast production paths against naive independent
+oracles (dense SpMV, per-element reuse statistics, per-cell model
+evaluation), asserts permutation invariants for every registered
+reordering, validates harness artifacts against their schemas, and —
+via the mutation smoke — tests the oracle layer itself by injecting
+seeded faults it must catch.
+
+Entry point: ``python -m repro check`` (see :mod:`repro.check.cli`).
+"""
+
+from .corpus import check_corpus, edge_corpus
+from .findings import CheckReport, Finding
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "check_artifacts",
+    "check_corpus",
+    "check_features",
+    "check_kernels",
+    "check_model",
+    "check_permutations",
+    "edge_corpus",
+    "run_check",
+    "run_mutation_smoke",
+]
+
+
+def __getattr__(name):
+    # suites import heavyweight modules (harness, machine); load lazily
+    if name == "check_features":
+        from .features import check_features
+        return check_features
+    if name == "check_kernels":
+        from .kernels import check_kernels
+        return check_kernels
+    if name == "check_permutations":
+        from .permutations import check_permutations
+        return check_permutations
+    if name == "check_model":
+        from .model import check_model
+        return check_model
+    if name == "check_artifacts":
+        from .artifacts import check_artifacts
+        return check_artifacts
+    if name == "run_check":
+        from .cli import run_check
+        return run_check
+    if name == "run_mutation_smoke":
+        from .mutation import run_mutation_smoke
+        return run_mutation_smoke
+    raise AttributeError(f"module 'repro.check' has no attribute {name!r}")

@@ -1,0 +1,124 @@
+"""``python -m repro check`` — run the differential-testing oracle.
+
+Modes
+-----
+* default          run every suite on the seeded check corpus
+* ``--quick``      subsample to small matrices (CI tier, a few seconds)
+* ``--suites``     comma-separated subset (features, kernels,
+                   permutations, model, artifacts)
+* ``--mutation-smoke``  inject the seeded faults of
+  :mod:`repro.check.mutation` and assert each one is caught — a test
+  of the oracle layer itself
+* ``--json PATH``  additionally write the machine-readable report
+
+Exit status is 0 iff every invariant held (or, under
+``--mutation-smoke``, iff every fault was caught).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..obs import get_logger
+from ..obs.trace import span
+from .corpus import check_corpus, edge_corpus
+from .findings import CheckReport
+
+log = get_logger("check")
+
+#: matrices larger than this are dropped under ``--quick`` (the
+#: permutation suite on the full tiny tier costs ~90 s; the quick tier
+#: must stay CI-cheap)
+QUICK_MAX_ROWS = 256
+
+SUITES = ("features", "kernels", "permutations", "model", "artifacts")
+
+
+def _run_suite(name: str, matrices, seed: int) -> CheckReport:
+    if name == "features":
+        from .features import check_features
+        return check_features(matrices)
+    if name == "kernels":
+        from .kernels import check_kernels
+        return check_kernels(matrices, seed=seed)
+    if name == "permutations":
+        from .permutations import check_permutations
+        return check_permutations(matrices, seed=seed)
+    if name == "model":
+        from .model import check_model
+        return check_model(matrices)
+    if name == "artifacts":
+        from .artifacts import check_artifacts
+        return check_artifacts(seed=seed)
+    raise ValueError(f"unknown check suite {name!r}")
+
+
+def run_check(suites=SUITES, seed: int = 0, quick: bool = False,
+              json_path: str | None = None) -> CheckReport:
+    """Run the selected suites and return the merged report."""
+    import time
+
+    matrices = check_corpus(seed) + edge_corpus(seed)
+    if quick:
+        kept = [(n, a) for n, a in matrices if a.nrows <= QUICK_MAX_ROWS]
+        log.info("quick mode: %d of %d matrices (nrows <= %d)",
+                 len(kept), len(matrices), QUICK_MAX_ROWS)
+        matrices = kept
+    report = CheckReport(suites=[])
+    t0 = time.perf_counter()
+    with span("check", quick=quick, seed=seed):
+        for name in suites:
+            t1 = time.perf_counter()
+            part = _run_suite(name, matrices, seed)
+            log.info("suite %-12s %5d case(s) %3d finding(s) %6.2fs",
+                     name, part.cases, len(part.findings),
+                     time.perf_counter() - t1)
+            report.merge(part)
+    report.seconds = time.perf_counter() - t0
+    if json_path:
+        with open(json_path, "wt") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        log.info("wrote %s", json_path)
+    return report
+
+
+def main(args) -> int:
+    if args.mutation_smoke:
+        from .mutation import run_mutation_smoke
+        result = run_mutation_smoke(seed=args.seed)
+        if args.json:
+            with open(args.json, "wt") as f:
+                json.dump(result.to_dict(), f, indent=2)
+        print(result.render())
+        return 0 if result.ok else 1
+
+    suites = SUITES
+    if args.suites:
+        suites = tuple(s.strip() for s in args.suites.split(",") if s.strip())
+        unknown = [s for s in suites if s not in SUITES]
+        if unknown:
+            log.error("unknown suite(s) %s; valid: %s",
+                      unknown, ", ".join(SUITES))
+            return 2
+    report = run_check(suites=suites, seed=args.seed, quick=args.quick,
+                       json_path=args.json)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def add_check_parser(sub) -> None:
+    """Attach the ``check`` subcommand to the main CLI's subparsers."""
+    p = sub.add_parser(
+        "check",
+        help="differential tests and invariant checks (oracle layer)")
+    p.add_argument("--quick", action="store_true",
+                   help=f"only matrices with <= {QUICK_MAX_ROWS} rows "
+                        "(CI tier)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--suites", default=None,
+                   help="comma-separated subset of: " + ", ".join(SUITES))
+    p.add_argument("--mutation-smoke", action="store_true",
+                   help="inject seeded faults and assert each is caught")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the machine-readable report")
+    p.set_defaults(func=main)

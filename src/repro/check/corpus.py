@@ -1,0 +1,58 @@
+"""Seeded corpora the check suites run on.
+
+Two layers:
+
+* :func:`check_corpus` — the generator suite's ``tiny`` tier (the same
+  matrices the sweep smoke jobs use), so the oracle pass exercises the
+  exact structures the study sweeps.
+* :func:`edge_corpus` — adversarial shapes the tiny tier does not
+  contain: empty matrices, single rows, empty rows, rectangular
+  matrices, and CSR containers carrying explicitly stored zeros.  These
+  pin the edge-case fixes (nthreads > nrows schedules, explicit-zero
+  features) that this layer was built to catch.
+
+Everything is deterministic in ``seed``; the differential checks rely
+on being able to rebuild the identical corpus from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..generators import build_corpus
+from ..matrix import coo_from_arrays, csr_from_coo, csr_from_dense
+from ..matrix.csr import CSRMatrix
+
+
+def check_corpus(seed: int = 0, tier: str = "tiny") -> list:
+    """``[(name, matrix), ...]`` from the generator suite."""
+    return [(e.name, e.matrix) for e in build_corpus(tier, seed=seed)]
+
+
+def _with_explicit_zeros(a: CSRMatrix, rng: np.random.Generator) -> CSRMatrix:
+    """A copy of ``a`` with ~25% of its stored values forced to 0.0."""
+    values = a.values.copy()
+    idx = rng.choice(a.nnz, size=max(1, a.nnz // 4), replace=False)
+    values[idx] = 0.0
+    return CSRMatrix(a.nrows, a.ncols, a.rowptr, a.colidx, values)
+
+
+def edge_corpus(seed: int = 0) -> list:
+    """``[(name, matrix), ...]`` of adversarial edge-case structures."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((6, 6)) < 0.4) * rng.standard_normal((6, 6))
+    small = csr_from_dense(dense)
+    out = [
+        ("empty-5x5", csr_from_coo(coo_from_arrays(5, 5, [], []))),
+        ("single-entry-1x1", csr_from_dense(np.array([[2.5]]))),
+        ("single-dense-row", csr_from_dense(
+            np.vstack([np.ones((1, 6)), np.zeros((5, 6))]))),
+        # rows 2..3 empty: threads owning them stay in the partition
+        ("empty-middle-rows", csr_from_coo(coo_from_arrays(
+            6, 6, [0, 0, 1, 4, 5, 5], [0, 3, 1, 4, 2, 5],
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))),
+        ("rect-3x7", csr_from_dense(
+            (rng.random((3, 7)) < 0.5).astype(float))),
+        ("explicit-zeros", _with_explicit_zeros(small, rng)),
+    ]
+    return out

@@ -1,0 +1,139 @@
+"""Differential checks of the §3.2 structural features.
+
+Every feature routine is cross-validated against an independent dense
+oracle written as the paper's definition, in plain Python, sharing no
+code with the production path:
+
+* bandwidth  — ``max |i - j|`` over ``a_ij != 0``;
+* profile    — ``Σ_i max(i - min{j: a_ij != 0}, 0)``;
+* offdiag    — nonzeros outside the ``nblocks`` diagonal blocks of the
+  linspace row/column split;
+* imbalance  — max/mean nonzeros per *active* thread of the 1D split.
+
+Two-path agreement is asserted alongside: a feature computed on the
+CSR directly must equal the same feature after a dense round trip
+(which drops explicitly stored zeros), and schedules with more threads
+than rows must not skew the imbalance factor.
+
+Production functions are resolved through their module namespaces
+(``features.bandwidth(...)``, not a from-import), so the mutation
+smoke can inject faults that this suite must catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import features
+from ..matrix import csr_from_dense
+from ..obs.trace import span
+from ..spmv import schedule as schedule_mod
+from .findings import CheckReport
+
+SUITE = "features"
+
+
+def _oracle_bandwidth(dense: np.ndarray) -> int:
+    rows, cols = np.nonzero(dense)
+    return int(max((abs(int(i) - int(j)) for i, j in zip(rows, cols)),
+                   default=0))
+
+
+def _oracle_profile(dense: np.ndarray) -> int:
+    total = 0
+    for i in range(dense.shape[0]):
+        cols = np.flatnonzero(dense[i])
+        if cols.size:
+            total += max(i - int(cols[0]), 0)
+    return total
+
+
+def _oracle_offdiag(dense: np.ndarray, nblocks: int) -> int:
+    nrows, ncols = dense.shape
+    row_bounds = np.linspace(0, nrows, nblocks + 1).astype(np.int64)
+    col_bounds = np.linspace(0, ncols, nblocks + 1).astype(np.int64)
+    count = 0
+    for i, j in zip(*np.nonzero(dense)):
+        rb = int(np.searchsorted(row_bounds, i, side="right")) - 1
+        cb = int(np.searchsorted(col_bounds, j, side="right")) - 1
+        count += rb != cb
+    return count
+
+
+def _oracle_imbalance_1d(row_lengths: np.ndarray, nthreads: int) -> float:
+    """The paper's definition over the actual 1D row partition: shares
+    owning neither rows nor entries are not part of the partition.
+
+    Counts *stored* entries per thread (``row_lengths``), not
+    mathematical nonzeros — the kernel's work includes explicitly
+    stored zeros, unlike the structural features above."""
+    nrows = int(row_lengths.size)
+    bounds = np.linspace(0, nrows, nthreads + 1).astype(np.int64)
+    shares = []
+    for t in range(nthreads):
+        lo, hi = int(bounds[t]), int(bounds[t + 1])
+        if hi > lo:
+            shares.append(int(row_lengths[lo:hi].sum()))
+    if not shares or sum(shares) == 0:
+        return 1.0
+    return max(shares) / (sum(shares) / len(shares))
+
+
+def check_features(matrices, nblocks=(1, 2, 4),
+                   nthreads=(1, 2, 3, 8)) -> CheckReport:
+    """Cross-validate every feature on every matrix against the dense
+    oracles, and assert CSR-path/dense-path agreement."""
+    report = CheckReport(suites=[SUITE])
+    with span("check.features"):
+        for name, a in matrices:
+            dense = a.to_dense()
+            subject = f"matrix={name}"
+
+            got, want = features.bandwidth(a), _oracle_bandwidth(dense)
+            report.check(got == want, SUITE, "bandwidth-matches-oracle",
+                         subject, f"bandwidth()={got}, dense oracle={want}")
+
+            got, want = features.profile(a), _oracle_profile(dense)
+            report.check(got == want, SUITE, "profile-matches-oracle",
+                         subject, f"profile()={got}, dense oracle={want}")
+
+            for k in nblocks:
+                got = features.offdiagonal_nonzeros(a, k)
+                want = _oracle_offdiag(dense, k)
+                report.check(
+                    got == want, SUITE, "offdiag-matches-oracle",
+                    f"{subject} nblocks={k}",
+                    f"offdiagonal_nonzeros()={got}, dense oracle={want}")
+
+            for nt in nthreads:
+                got = features.imbalance_factor_1d(a, nt)
+                want = _oracle_imbalance_1d(a.row_lengths(), nt)
+                report.check(
+                    bool(np.isfinite(got)) and abs(got - want) < 1e-12,
+                    SUITE, "imbalance-matches-active-partition",
+                    f"{subject} nthreads={nt}",
+                    f"imbalance_factor_1d()={got}, partition oracle={want}")
+                s = schedule_mod.schedule_1d(a, nt)
+                active = s.active_threads()
+                report.check(
+                    int(active.sum()) == min(nt, a.nrows)
+                    and int(s.nnz_per_thread()[~active].sum()) == 0,
+                    SUITE, "active-threads-cover-partition",
+                    f"{subject} nthreads={nt}",
+                    f"{int(active.sum())} active thread(s) for "
+                    f"{a.nrows} rows over {nt} threads, or an inactive "
+                    "thread owns entries")
+
+            # two-path agreement: CSR direct vs dense round trip (the
+            # round trip drops explicitly stored zeros)
+            b = csr_from_dense(dense)
+            report.check(
+                features.bandwidth(a) == features.bandwidth(b) and
+                features.profile(a) == features.profile(b) and
+                features.offdiagonal_nonzeros(a, 2)
+                == features.offdiagonal_nonzeros(b, 2),
+                SUITE, "csr-path-agrees-with-dense-path", subject,
+                "feature values differ between the CSR container and "
+                "its dense round trip (explicit zeros handled "
+                "inconsistently)")
+    return report

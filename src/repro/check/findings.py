@@ -1,0 +1,97 @@
+"""Finding and report types shared by every check suite.
+
+A *finding* is one violated invariant: which suite noticed it, the
+machine-readable invariant name (stable — the mutation smoke asserts on
+it, and docs/correctness.md indexes it), the subject under check and a
+human-readable detail with the observed numbers.  A clean run is a
+report with zero findings; the CLI exit code is derived from exactly
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..obs.metrics import REGISTRY
+
+#: total invariant evaluations across all suites (observability)
+CASES = REGISTRY.counter("check.cases")
+#: total findings raised across all suites
+FINDINGS = REGISTRY.counter("check.findings")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant."""
+
+    suite: str       # "features" / "kernels" / "permutations" / ...
+    invariant: str   # stable machine-readable name, kebab-case
+    subject: str     # what was being checked ("matrix=banded kernel=2d")
+    detail: str      # human explanation with the observed numbers
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"[{self.suite}] {self.invariant} :: {self.subject}: "
+                f"{self.detail}")
+
+
+@dataclass
+class CheckReport:
+    """Aggregated outcome of one or more check suites."""
+
+    findings: list = field(default_factory=list)
+    cases: int = 0
+    suites: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def case(self, n: int = 1) -> None:
+        """Count ``n`` evaluated invariant instances."""
+        self.cases += n
+        CASES.inc(n)
+
+    def fail(self, suite: str, invariant: str, subject: str,
+             detail: str) -> None:
+        self.findings.append(Finding(suite, invariant, subject, detail))
+        FINDINGS.inc()
+
+    def check(self, condition: bool, suite: str, invariant: str,
+              subject: str, detail: str) -> bool:
+        """Count one case; record a finding unless ``condition`` holds."""
+        self.case()
+        if not condition:
+            self.fail(suite, invariant, subject, detail)
+        return bool(condition)
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        self.findings.extend(other.findings)
+        self.cases += other.cases
+        self.suites.extend(s for s in other.suites if s not in self.suites)
+        self.seconds += other.seconds
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "cases": self.cases,
+            "suites": list(self.suites),
+            "seconds": round(self.seconds, 3),
+            "findings": [asdict(f) for f in self.findings],
+        }
+
+    def render(self, max_findings: int = 50) -> str:
+        lines = [f"check: {self.cases} invariant case(s) across "
+                 f"{len(self.suites)} suite(s) "
+                 f"[{', '.join(self.suites)}] in {self.seconds:.2f}s"]
+        if self.ok:
+            lines.append("check: OK — no invariant violations")
+        else:
+            lines.append(f"check: FAILED — {len(self.findings)} finding(s)")
+            for f in self.findings[:max_findings]:
+                lines.append(f"  {f}")
+            if len(self.findings) > max_findings:
+                lines.append(
+                    f"  ... and {len(self.findings) - max_findings} more")
+        return "\n".join(lines)

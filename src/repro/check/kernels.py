@@ -1,0 +1,56 @@
+"""Differential checks of the SpMV kernels against a dense oracle.
+
+Every registered kernel (1d, 2d, merge) is run on every matrix of the
+check corpora, over several thread counts — deliberately including
+counts larger than the row count — with a seeded random ``x`` vector,
+and compared against the dense NumPy oracle ``A @ x``.  A crash is a
+finding, not an abort: the suite keeps going and reports every broken
+cell.
+
+The dispatch is called through the kernel module's namespace
+(``kernels.spmv``), so mutation faults patched into
+``repro.spmv.kernels`` are observed by this suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.trace import span
+from ..spmv import kernels
+from .findings import CheckReport
+
+SUITE = "kernels"
+
+#: every registered schedule kind the dispatcher accepts
+KERNEL_KINDS = ("1d", "2d", "merge")
+
+
+def check_kernels(matrices, nthreads=(1, 2, 3, 8),
+                  seed: int = 0) -> CheckReport:
+    """Cross-validate every kernel × matrix × thread count."""
+    rng = np.random.default_rng(seed)
+    report = CheckReport(suites=[SUITE])
+    with span("check.kernels"):
+        for name, a in matrices:
+            x = rng.standard_normal(a.ncols)
+            oracle = a.to_dense() @ x
+            for kind in KERNEL_KINDS:
+                for nt in nthreads:
+                    subject = (f"matrix={name} kernel={kind} "
+                               f"nthreads={nt}")
+                    try:
+                        y = kernels.spmv(a, x, kind, nt)
+                    except Exception as exc:  # noqa: BLE001 - report
+                        report.case()
+                        report.fail(SUITE, "kernel-crash", subject,
+                                    f"{type(exc).__name__}: {exc}")
+                        continue
+                    err = float(np.max(np.abs(y - oracle), initial=0.0))
+                    report.check(
+                        y.shape == oracle.shape
+                        and bool(np.allclose(y, oracle,
+                                             rtol=1e-10, atol=1e-12)),
+                        SUITE, "spmv-matches-dense-oracle", subject,
+                        f"max abs error {err:.3e} vs dense A @ x")
+    return report

@@ -1,0 +1,177 @@
+"""Differential checks of the performance model's fast paths.
+
+The model has two layers of "clever" code that must stay bit-identical
+to their naive definitions:
+
+* the **reuse primitives** (:mod:`repro.machine.reuse`) — one-argsort
+  previous-occurrence arrays, vectorised per-window distinct counts and
+  merge-counted LRU stack distances.  Each is cross-validated against a
+  naive per-element Python oracle (dict of last positions, per-window
+  sets, an explicit LRU stack);
+* the **batched fast path** — ``predict_many`` / ``simulate_many``
+  share one :class:`ReuseStats` pass and memoised schedules; their
+  output must equal naive per-cell evaluation with ``fastpath=False``
+  reference models, cell by cell, bit for bit.
+
+The memoised :class:`ReuseStats` container is additionally checked
+against a from-scratch rebuild on an equal-but-distinct matrix object,
+so a stale or cross-wired memo entry cannot hide behind its own
+consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine import bench as bench_mod
+from ..machine import model as model_mod
+from ..machine import reuse as reuse_mod
+from ..machine.arch import get_architecture
+from ..matrix.csr import CSRMatrix
+from ..obs.trace import span
+from ..spmv import schedule_1d, schedule_2d
+from .findings import CheckReport
+
+SUITE = "model"
+
+#: architectures the differential pass evaluates (one Intel, one AMD,
+#: one ARM keeps the pass cheap while covering distinct cache shapes)
+CHECK_ARCHS = ("Skylake", "Rome", "TX2")
+
+
+def _naive_prev(stream) -> np.ndarray:
+    last: dict = {}
+    prev = np.full(len(stream), -1, dtype=np.int64)
+    for i, v in enumerate(stream):
+        prev[i] = last.get(int(v), -1)
+        last[int(v)] = i
+    return prev
+
+
+def _naive_windowed_distinct(stream, window: int) -> int:
+    total = 0
+    for start in range(0, len(stream), window):
+        total += len(set(int(v) for v in stream[start:start + window]))
+    return total
+
+
+def _naive_stack_distances(stream) -> np.ndarray:
+    stack: list = []
+    dist = np.full(len(stream), -1, dtype=np.int64)
+    for i, v in enumerate(stream):
+        v = int(v)
+        if v in stack:
+            dist[i] = stack[::-1].index(v)  # distinct values above v
+            stack.remove(v)
+        stack.append(v)  # top of stack = end of list
+    return dist
+
+
+def _fresh_copy(a: CSRMatrix) -> CSRMatrix:
+    """An equal matrix sharing no object identity with ``a`` — a memo
+    keyed or cached on the original object cannot serve it."""
+    return CSRMatrix(a.nrows, a.ncols, a.rowptr.copy(),
+                     a.colidx.copy(), a.values.copy())
+
+
+def check_reuse_primitives(matrices, words_per_line: int = 8) -> CheckReport:
+    """Reuse-statistic primitives vs naive per-element oracles."""
+    report = CheckReport(suites=[SUITE])
+    with span("check.model.reuse"):
+        for name, a in matrices:
+            subject = f"matrix={name}"
+            lines = a.colidx // words_per_line
+            small = lines[:512]  # the list-based oracles are O(n^2)
+
+            prev = reuse_mod.prev_occurrence(small)
+            want = _naive_prev(small)
+            report.check(
+                bool(np.array_equal(prev, want)), SUITE,
+                "prev-occurrence-matches-naive", subject,
+                "argsort-based previous-occurrence differs from the "
+                "dict-of-last-positions oracle")
+
+            for window in (1, 7, 64):
+                got = reuse_mod.windowed_distinct_loads(prev, window)
+                naive = _naive_windowed_distinct(small, window)
+                report.check(
+                    got == naive, SUITE,
+                    "windowed-distinct-matches-naive",
+                    f"{subject} window={window}",
+                    f"vectorised count {got} != per-window set oracle "
+                    f"{naive}")
+
+            got = reuse_mod.stack_distances(prev)
+            naive = _naive_stack_distances(small)
+            report.check(
+                bool(np.array_equal(got, naive)), SUITE,
+                "stack-distance-matches-naive", subject,
+                "merge-counted stack distances differ from the "
+                "explicit-LRU-stack oracle")
+
+            # the memo must serve statistics of *this* matrix: compare
+            # against a from-scratch rebuild on an equal fresh object
+            stats = reuse_mod.ReuseStats.for_matrix(a)
+            served = stats.prev(words_per_line)
+            rebuilt = reuse_mod.ReuseStats(
+                _fresh_copy(a)).prev(words_per_line)
+            report.check(
+                bool(np.array_equal(served, rebuilt)), SUITE,
+                "reuse-memo-matches-rebuild", subject,
+                "memoised previous-occurrence array differs from a "
+                "from-scratch rebuild (stale or cross-wired memo)")
+            report.check(
+                served is stats.prev(words_per_line), SUITE,
+                "reuse-memo-is-stable", subject,
+                "repeated memo reads returned different objects")
+    return report
+
+
+def check_model_fastpath(matrices, architectures=CHECK_ARCHS) -> CheckReport:
+    """Batched fast-path evaluation vs naive per-cell reference."""
+    archs = [get_architecture(n) for n in architectures]
+    report = CheckReport(suites=[SUITE])
+    with span("check.model.fastpath"):
+        for name, a in matrices:
+            if a.nnz == 0:
+                continue  # the model is defined over nonempty matrices
+            preds = model_mod.predict_many(a, archs, kernels=("1d", "2d"))
+            for arch in archs:
+                for kernel in ("1d", "2d"):
+                    subject = (f"matrix={name} arch={arch.name} "
+                               f"kernel={kernel}")
+                    reference = model_mod.PerfModel(
+                        arch, fastpath=False)
+                    schedule = (schedule_1d(a, arch.threads)
+                                if kernel == "1d"
+                                else schedule_2d(a, arch.threads))
+                    want = reference.predict(_fresh_copy(a), schedule)
+                    got = preds[(arch.name, kernel, arch.threads)]
+                    report.check(
+                        got.seconds == want.seconds
+                        and got.x_line_loads == want.x_line_loads
+                        and bool(np.array_equal(got.thread_seconds,
+                                                want.thread_seconds)),
+                        SUITE, "fastpath-matches-naive-model", subject,
+                        f"fastpath seconds={got.seconds!r} "
+                        f"x_line_loads={got.x_line_loads} vs naive "
+                        f"{want.seconds!r}/{want.x_line_loads}")
+
+            batched = bench_mod.simulate_many(
+                a, archs, kernels=("1d", "2d"), matrix_name=name,
+                ordering_name="original")
+            single = [bench_mod.simulate_measurement(
+                          a, arch, kernel, name, "original")
+                      for arch in archs for kernel in ("1d", "2d")]
+            report.check(
+                batched == single, SUITE,
+                "simulate-many-matches-per-cell", f"matrix={name}",
+                "batched measurement records differ from per-cell "
+                "simulate_measurement calls")
+    return report
+
+
+def check_model(matrices, architectures=CHECK_ARCHS) -> CheckReport:
+    """Both model sub-suites on one corpus."""
+    report = check_reuse_primitives(matrices)
+    return report.merge(check_model_fastpath(matrices, architectures))

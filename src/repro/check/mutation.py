@@ -1,0 +1,375 @@
+"""Mutation smoke: seeded faults the check suites must catch.
+
+Each fault monkeypatches one production function with a realistic bug
+— an off-by-one, a swapped permutation direction, a dropped journal
+line, a stale cache entry, an unguarded division — runs the check
+suite built to catch exactly that class of defect, and asserts at
+least one finding names the expected invariant.  A fault that slips
+through means the oracle layer has a blind spot; the smoke exits
+nonzero and CI fails.
+
+Faults patch *module/class attributes* (the names the checkers resolve
+at call time), never local bindings, and every patch is restored in a
+``finally`` so faults cannot leak into each other or into a subsequent
+real check run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.trace import span
+from .corpus import check_corpus, edge_corpus
+from .findings import CheckReport
+
+
+# ----------------------------------------------------------------------
+# patch helper
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _patched(owner, name: str, replacement):
+    """Temporarily replace ``owner.name`` (module or class attribute)."""
+    original = getattr(owner, name)
+    setattr(owner, name, replacement)
+    try:
+        yield original
+    finally:
+        setattr(owner, name, original)
+
+
+# ----------------------------------------------------------------------
+# target suites (small fixed corpora keep the smoke fast)
+# ----------------------------------------------------------------------
+def _small_matrices(seed: int) -> list:
+    return check_corpus(seed)[:2] + edge_corpus(seed)
+
+
+def _features_target(seed: int) -> CheckReport:
+    from .features import check_features
+
+    return check_features(_small_matrices(seed))
+
+
+def _kernels_target(seed: int) -> CheckReport:
+    from .kernels import check_kernels
+
+    return check_kernels(_small_matrices(seed), seed=seed)
+
+
+def _permutations_target(seed: int) -> CheckReport:
+    from .permutations import check_permutations
+
+    mats = [m for m in check_corpus(seed)[:2] if m[1].is_square]
+    return check_permutations(mats, orderings=("RCM", "Gray"), seed=seed)
+
+
+def _model_target(seed: int) -> CheckReport:
+    from .model import check_model
+
+    return check_model(check_corpus(seed)[:2],
+                       architectures=("Rome",))
+
+
+def _artifacts_target(seed: int) -> CheckReport:
+    from .artifacts import check_artifacts
+
+    return check_artifacts(seed=seed)
+
+
+def _caches_target(seed: int) -> CheckReport:
+    from ..generators import build_corpus
+    from .artifacts import _check_caches
+
+    report = CheckReport(suites=["artifacts"])
+    _check_caches(report, build_corpus("tiny", seed=seed)[:1])
+    return report
+
+
+# ----------------------------------------------------------------------
+# the faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fault:
+    """One injectable bug and the invariant expected to catch it."""
+
+    name: str
+    description: str
+    expect_invariant: str
+    target: object                 # seed -> CheckReport
+    inject: object                 # () -> contextmanager
+    expect_detail: str = ""        # optional substring of the detail
+
+
+def _fault_bandwidth_off_by_one():
+    from .. import features
+
+    orig = features.bandwidth
+    return _patched(features, "bandwidth", lambda a: orig(a) + 1)
+
+
+def _fault_swapped_perm_direction():
+    from ..matrix.permute import invert_permutation
+    from ..reorder import perm as perm_mod
+
+    orig = perm_mod.permute_symmetric
+    return _patched(perm_mod, "permute_symmetric",
+                    lambda a, p: orig(a, invert_permutation(p)))
+
+
+def _fault_dropped_journal_line():
+    from ..harness.engine import SweepJournal
+
+    orig = SweepJournal.append_record
+    state = {"n": 0}
+
+    def dropping(self, cell, rec):
+        state["n"] += 1
+        if state["n"] == 2:
+            return  # silently lose one completed cell
+        orig(self, cell, rec)
+
+    return _patched(SweepJournal, "append_record", dropping)
+
+
+def _fault_stale_cache_entry():
+    from ..harness.runner import OrderingCache
+    from ..reorder.perm import identity_ordering
+
+    orig = OrderingCache.get
+
+    def stale(self, a, matrix_name, ordering, nparts=64, seed=0):
+        result = orig(self, a, matrix_name, ordering, nparts=nparts,
+                      seed=seed)
+        # second lookup serves a wrong (identity) permutation, as a
+        # colliding/stale key would
+        if self._hits > 0:
+            return identity_ordering(a.nrows)
+        return result
+
+    return _patched(OrderingCache, "get", stale)
+
+
+def _fault_imbalance_empty_threads():
+    from ..spmv.schedule import Schedule
+
+    def all_active(self):
+        return np.ones(self.nthreads, dtype=bool)
+
+    return _patched(Schedule, "active_threads", all_active)
+
+
+def _fault_kernel_skips_last_thread():
+    from ..spmv import kernels
+
+    orig = kernels.spmv_1d
+
+    def skipping(a, x, schedule):
+        y = orig(a, x, schedule)
+        lo = int(schedule.row_start[schedule.nthreads - 1])
+        hi = int(schedule.row_start[schedule.nthreads])
+        y[lo:hi] = 0.0  # last thread's rows never computed
+        return y
+
+    return _patched(kernels, "spmv_1d", skipping)
+
+
+def _fault_model_fastpath_drift():
+    from ..machine.reuse import ReuseStats
+
+    orig = ReuseStats.prev
+
+    def drifted(self, words_per_line):
+        prev = orig(self, words_per_line).copy()
+        warm = np.flatnonzero(prev >= 0)
+        if warm.size:
+            prev[warm[0]] = -1  # one extra modelled line load
+        return prev
+
+    return _patched(ReuseStats, "prev", drifted)
+
+
+def _fault_prev_occurrence_off_by_one():
+    from ..machine import reuse as reuse_mod
+
+    orig = reuse_mod.prev_occurrence
+
+    def shifted(stream):
+        prev = orig(stream)
+        return np.where(prev > 0, prev - 1, prev)
+
+    return _patched(reuse_mod, "prev_occurrence", shifted)
+
+
+def _fault_torn_trace_event():
+    from ..obs.trace import Tracer
+
+    orig = Tracer.save
+
+    def torn(self, path, extra_events=None):
+        bad = [{"name": "torn", "ph": "X", "cat": "repro", "ts": 0.0,
+                "dur": -1.0, "pid": 0, "tid": 0}]
+        return orig(self, path, extra_events=bad + list(extra_events or []))
+
+    return _patched(Tracer, "save", torn)
+
+
+def _fault_manifest_missing_field():
+    import json
+
+    from ..obs.manifest import RunManifest
+
+    def truncated(self, path):
+        data = self.to_dict()
+        data.pop("run_id", None)
+        with open(path, "wt") as f:
+            json.dump(data, f)
+        return path
+
+    return _patched(RunManifest, "write", truncated)
+
+
+def _fault_hit_rate_unguarded():
+    from ..obs import cachestats
+
+    def unguarded(hits=0, misses=0, evictions=0, size_bytes=0, **extra):
+        out = {
+            "hits": int(hits), "misses": int(misses),
+            "evictions": int(evictions),
+            "hit_rate": hits / (hits + misses),  # no zero guard
+            "size_bytes": int(size_bytes),
+        }
+        out.update(extra)
+        return out
+
+    return _patched(cachestats, "cache_stats", unguarded)
+
+
+FAULTS = (
+    Fault("bandwidth-off-by-one",
+          "bandwidth() reports max|i-j| + 1",
+          "bandwidth-matches-oracle", _features_target,
+          _fault_bandwidth_off_by_one),
+    Fault("imbalance-counts-empty-threads",
+          "active_threads() reports every thread active (pre-fix "
+          "behaviour: empty shares dilute the imbalance mean)",
+          "imbalance-matches-active-partition", _features_target,
+          _fault_imbalance_empty_threads),
+    Fault("kernel-skips-last-thread",
+          "the 1D kernel never computes the last thread's rows",
+          "spmv-matches-dense-oracle", _kernels_target,
+          _fault_kernel_skips_last_thread),
+    Fault("swapped-permutation-direction",
+          "permute_symmetric applies the inverse (old-to-new) "
+          "permutation",
+          "permuted-matrix-matches-dense-gather", _permutations_target,
+          _fault_swapped_perm_direction),
+    Fault("prev-occurrence-off-by-one",
+          "prev_occurrence() shifts every warm index down by one",
+          "prev-occurrence-matches-naive", _model_target,
+          _fault_prev_occurrence_off_by_one),
+    Fault("model-fastpath-drift",
+          "the memoised reuse statistics feed the fast path one extra "
+          "line load",
+          "fastpath-matches-naive-model", _model_target,
+          _fault_model_fastpath_drift),
+    Fault("dropped-journal-line",
+          "SweepJournal silently drops the second record line",
+          "journal-matches-metrics", _artifacts_target,
+          _fault_dropped_journal_line),
+    Fault("torn-trace-event",
+          "the saved trace contains an event with negative duration",
+          "artifact-schema", _artifacts_target,
+          _fault_torn_trace_event, expect_detail="trace:"),
+    Fault("manifest-missing-field",
+          "the run manifest is written without its run_id",
+          "artifact-schema", _artifacts_target,
+          _fault_manifest_missing_field, expect_detail="manifest:"),
+    Fault("stale-cache-entry",
+          "OrderingCache serves an identity permutation on cache hits",
+          "cache-serves-fresh-result", _caches_target,
+          _fault_stale_cache_entry),
+    Fault("hit-rate-unguarded",
+          "cache_stats divides by hits+misses without a zero guard",
+          "cache-hit-rate-finite", _caches_target,
+          _fault_hit_rate_unguarded),
+)
+
+
+# ----------------------------------------------------------------------
+# the smoke runner
+# ----------------------------------------------------------------------
+@dataclass
+class MutationOutcome:
+    fault: str
+    caught: bool
+    findings: int
+    matched: int
+    description: str
+
+
+@dataclass
+class MutationReport:
+    outcomes: list = field(default_factory=list)
+    baseline_clean: bool = True
+    baseline_findings: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.baseline_clean and all(o.caught for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "baseline_clean": self.baseline_clean,
+            "outcomes": [vars(o) for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        lines = [f"mutation smoke: {len(self.outcomes)} fault(s)"]
+        if not self.baseline_clean:
+            lines.append(
+                "  BASELINE DIRTY — suites report findings without any "
+                "injected fault:")
+            for f in self.baseline_findings[:10]:
+                lines.append(f"    {f}")
+        for o in self.outcomes:
+            status = "caught" if o.caught else "MISSED"
+            lines.append(
+                f"  [{status:>6}] {o.fault}: {o.description} "
+                f"({o.matched}/{o.findings} finding(s) matched)")
+        lines.append("mutation smoke: "
+                     + ("OK — every fault caught" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _matches(finding, fault: Fault) -> bool:
+    return (finding.invariant == fault.expect_invariant
+            and (fault.expect_detail in finding.detail
+                 if fault.expect_detail else True))
+
+
+def run_mutation_smoke(seed: int = 0) -> MutationReport:
+    """Inject every fault; assert its designated suite catches it."""
+    report = MutationReport()
+    with span("check.mutation"):
+        # baseline: every target suite must be clean before injection
+        for target in {f.target for f in FAULTS}:
+            clean = target(seed)
+            if not clean.ok:
+                report.baseline_clean = False
+                report.baseline_findings.extend(clean.findings)
+        for fault in FAULTS:
+            with span("check.mutation.fault", fault=fault.name):
+                with fault.inject():
+                    result = fault.target(seed)
+            matched = sum(_matches(f, fault) for f in result.findings)
+            report.outcomes.append(MutationOutcome(
+                fault=fault.name,
+                caught=matched > 0,
+                findings=len(result.findings),
+                matched=matched,
+                description=fault.description))
+    return report

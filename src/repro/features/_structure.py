@@ -1,0 +1,26 @@
+"""Canonical structural view of a matrix for feature computation.
+
+The §3.2 structural features (bandwidth, profile, off-diagonal count)
+are defined over the *nonzeros* of the matrix — ``a_ij != 0`` — while a
+CSR container may also carry explicitly stored zero entries (Matrix
+Market files and hand-assembled matrices both produce them).  Before
+this module the two computation paths disagreed: features on the CSR
+directly counted stored zeros as nonzeros, while a round trip through
+dense (``csr_from_dense(a.to_dense())``) silently dropped them.
+
+:func:`structural` makes the CSR path match the dense path: features
+are computed on the stored pattern with explicit zeros removed.  The
+sortedness half of the precondition (strictly increasing columns within
+rows) is enforced at :class:`~repro.matrix.csr.CSRMatrix` construction
+via :func:`repro.util.validate.check_sorted_columns`, so a CSR instance
+can never reach a feature routine unsorted.
+"""
+
+from __future__ import annotations
+
+from ..matrix.csr import CSRMatrix
+
+
+def structural(a: CSRMatrix) -> CSRMatrix:
+    """``a`` without explicitly stored zeros (``a`` itself when clean)."""
+    return a.drop_explicit_zeros()

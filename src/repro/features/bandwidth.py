@@ -5,13 +5,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..matrix.csr import CSRMatrix
+from ._structure import structural
 
 
 def bandwidth(a: CSRMatrix) -> int:
     """The largest distance of any nonzero to the main diagonal.
 
-    Zero for empty and diagonal matrices.
+    Zero for empty and diagonal matrices.  Explicitly stored zero
+    entries are not nonzeros and do not widen the band (see
+    :mod:`repro.features._structure`).
     """
+    a = structural(a)
     if a.nnz == 0:
         return 0
     rows = a.row_of_entry()

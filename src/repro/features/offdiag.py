@@ -15,12 +15,18 @@ import numpy as np
 from ..errors import MatrixFormatError
 from ..matrix.csr import CSRMatrix
 from ..util.validate import require
+from ._structure import structural
 
 
 def offdiagonal_nonzeros(a: CSRMatrix, nblocks: int) -> int:
-    """Nonzeros outside the ``nblocks`` diagonal blocks."""
+    """Nonzeros outside the ``nblocks`` diagonal blocks.
+
+    Explicitly stored zeros are not counted (they are not nonzeros of
+    the mathematical matrix; see :mod:`repro.features._structure`).
+    """
     require(nblocks >= 1, MatrixFormatError,
             f"nblocks must be >= 1, got {nblocks}")
+    a = structural(a)
     if a.nnz == 0 or nblocks == 1:
         return 0
     # block boundaries mirror the 1D row split (linspace, like OpenMP

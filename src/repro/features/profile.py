@@ -13,11 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..matrix.csr import CSRMatrix
+from ._structure import structural
 
 
 def profile(a: CSRMatrix) -> int:
     """Sum over rows of the distance from the leftmost entry to the
-    diagonal."""
+    diagonal.  Explicitly stored zeros do not widen the envelope."""
+    a = structural(a)
     if a.nnz == 0:
         return 0
     lengths = a.row_lengths()

@@ -10,6 +10,7 @@ Commands
 ``recommend``   suggest an ordering for a Matrix Market file
 ``advise``      learned, ranked ordering selection (repro.advisor)
 ``report``      render/validate trace + journal + manifest artifacts
+``check``       differential tests and invariant checks (oracle layer)
 
 Output discipline: *data* (tables, rankings, reports) goes to stdout
 via ``print`` so pipelines keep working; *status* (progress
@@ -429,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate the artifacts instead of rendering; "
                         "exit nonzero on any schema problem")
     p.set_defaults(func=_cmd_report)
+
+    from ..check.cli import add_check_parser
+    add_check_parser(sub)
     return parser
 
 

@@ -66,6 +66,7 @@ from ..errors import HarnessError
 from ..machine.bench import MeasurementRecord, simulate_measurement
 from ..machine.model import PerfModel
 from ..machine.reuse import ReuseStats
+from ..obs import cachestats
 from ..obs import manifest as _manifest
 from ..obs.metrics import REGISTRY, MetricsRegistry
 from ..obs.trace import TRACER, span
@@ -164,6 +165,14 @@ class SweepJournal:
         ``failures`` is the list of journaled :class:`FailedCell` rows
         (informational — failed cells stay pending on resume).
         Undecodable or incomplete lines are skipped.
+
+        A journal with no readable entries at all — zero bytes, or only
+        the torn tail of a process killed mid-header — parses as
+        ``(None, {}, [])``: an interrupted sweep that never journaled
+        anything has simply completed no cells, and resuming from it
+        must start fresh rather than error.  Readable *entries* under a
+        missing header are different: that journal carries data whose
+        signature cannot be verified, so it raises.
         """
         signature = None
         records: dict = {}
@@ -187,9 +196,10 @@ class SweepJournal:
                         failures.append(FailedCell(**entry["data"]))
                 except (KeyError, TypeError):
                     continue  # partially-written or foreign entry
-        if signature is None:
+        if signature is None and (records or failures):
             raise HarnessError(
-                f"{path}: journal has no readable header line")
+                f"{path}: journal has entries but no readable header "
+                "line; cannot verify it belongs to this sweep")
         return signature, records, failures
 
     # -- writing -------------------------------------------------------
@@ -564,6 +574,8 @@ class SweepEngine:
             return {}
         signature, records, _old_failures = SweepJournal.load(
             self.journal_path)
+        if signature is None:
+            return {}  # empty/torn-only journal: no completed cells
         if signature != self.signature():
             raise HarnessError(
                 f"{self.journal_path}: journal signature does not match "
@@ -780,6 +792,8 @@ class SweepEngine:
         for key in ("hits", "disk_hits", "misses", "requests",
                     "evictions", "size_bytes"):
             agg[key] = agg.get(key, 0) + stats.get(key, 0)
-        total = agg.get("requests", 0)
-        agg["hit_rate"] = ((agg.get("hits", 0) + agg.get("disk_hits", 0))
-                           / total if total else 0.0)
+        # the zero-request guard lives in the shared helper; hit_rate
+        # covers both storage levels, like OrderingCache.stats
+        agg["hit_rate"] = cachestats.cache_stats(
+            hits=agg.get("hits", 0) + agg.get("disk_hits", 0),
+            misses=agg.get("misses", 0))["hit_rate"]

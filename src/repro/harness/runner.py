@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import HarnessError
 from ..machine.bench import MeasurementRecord
 from ..matrix.csr import CSRMatrix
+from ..obs import cachestats
 from ..reorder import compute_ordering
 from ..reorder.perm import OrderingResult
 
@@ -59,19 +60,22 @@ class OrderingCache:
 
     @property
     def stats(self) -> dict:
-        """Shared-schema counters plus ``disk_hits``/``requests``."""
+        """Shared-schema counters plus ``disk_hits``/``requests``.
+
+        ``hit_rate`` covers both storage levels, so the shared helper
+        derives it from the combined hit count; ``hits`` itself stays
+        memory-only (the distinction the sweep report prints).  The
+        zero-access guard lives in
+        :func:`repro.obs.cachestats.cache_stats`, once, for every cache.
+        """
         total = self._hits + self._disk_hits + self._misses
-        size_bytes = sum(r.perm.nbytes for r in self._memory.values())
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": 0,          # unbounded: nothing is ever dropped
-            "hit_rate": ((self._hits + self._disk_hits) / total
-                         if total else 0.0),
-            "size_bytes": size_bytes,
-            "disk_hits": self._disk_hits,
-            "requests": total,
-        }
+        stats = cachestats.cache_stats(
+            hits=self._hits + self._disk_hits, misses=self._misses,
+            evictions=0,             # unbounded: nothing is ever dropped
+            size_bytes=sum(r.perm.nbytes for r in self._memory.values()),
+            disk_hits=self._disk_hits, requests=total)
+        stats["hits"] = self._hits
+        return stats
 
     @staticmethod
     def _fingerprint(a: CSRMatrix) -> int:

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import ArchitectureError
 from ..matrix.csr import CSRMatrix
+from ..obs import cachestats
 from .reuse import prev_occurrence, stack_distances
 
 
@@ -43,10 +44,22 @@ class LRUCache:
         self._clock = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def stats(self) -> dict:
+        """Counters in the shared cache-stats schema
+        (:data:`repro.obs.CACHE_STATS_KEYS`), like every other cache in
+        the code base.  ``size_bytes`` is the resident line footprint."""
+        resident = sum(len(s) for s in self._sets)
+        return cachestats.cache_stats(
+            hits=self.hits, misses=self.misses, evictions=self.evictions,
+            size_bytes=resident * self.line_size)
 
     def flush(self) -> None:
         for s in self._sets:
@@ -67,6 +80,7 @@ class LRUCache:
         if len(ways) >= self.associativity:
             victim = min(ways, key=ways.get)
             del ways[victim]
+            self.evictions += 1
         ways[tag] = self._clock
         return False
 
@@ -105,6 +119,10 @@ class LRUCache:
         self.hits += nhits
         misses = n - nhits
         self.misses += misses
+        # every miss inserts a line; starting from empty, whatever does
+        # not remain resident at the end was evicted along the way
+        ndistinct = int(np.count_nonzero(prev < 0))
+        self.evictions += misses - min(self.associativity, ndistinct)
         # exact end state: the loop leaves the associativity most
         # recently used distinct lines, stamped with the clock of each
         # line's last access (clock0 + position + 1)

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..obs.cachestats import cache_stats
+from ..obs import cachestats
 from ..obs.metrics import REGISTRY, CounterView
 
 _BUILDS = REGISTRY.counter("reuse.builds")
@@ -69,8 +69,8 @@ def reuse_cache_stats() -> dict:
     ``size_bytes`` accumulates the bytes of every built
     previous-occurrence array.
     """
-    return cache_stats(hits=_HITS.value, misses=_BUILDS.value,
-                       evictions=0, size_bytes=_BYTES.value)
+    return cachestats.cache_stats(hits=_HITS.value, misses=_BUILDS.value,
+                                  evictions=0, size_bytes=_BYTES.value)
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import MatrixFormatError
-from ..util.validate import check_index_array, require
+from ..util.validate import check_index_array, check_sorted_columns, require
 
 
 @dataclass(frozen=True)
@@ -67,20 +67,7 @@ class CSRMatrix:
         values = np.asarray(self.values, dtype=np.float64)
         require(values.shape == (nnz,), MatrixFormatError,
                 f"values length {values.shape} does not match nnz={nnz}")
-        # Verify sorted & unique columns within each row without a Python
-        # loop: adjacent colidx must strictly increase except across row
-        # boundaries.
-        if nnz > 1:
-            increasing = colidx[1:] > colidx[:-1]
-            # positions where entry k and k+1 belong to the same row
-            boundary = np.zeros(nnz, dtype=bool)
-            # first entry of rows 1..nrows-1; starts equal to nnz belong to
-            # an empty trailing region and mark no real entry
-            starts = rowptr[1:-1]
-            boundary[starts[starts < nnz]] = True
-            same_row = ~boundary[1:]
-            require(bool(np.all(increasing | ~same_row)), MatrixFormatError,
-                    "column indices must be strictly increasing within rows")
+        check_sorted_columns(rowptr, colidx)
         object.__setattr__(self, "rowptr", rowptr)
         object.__setattr__(self, "colidx", colidx)
         object.__setattr__(self, "values", values)
@@ -186,6 +173,35 @@ class CSRMatrix:
         mask = (rows == self.colidx) & (rows < n)
         diag[rows[mask]] = self.values[mask]
         return diag
+
+    def has_explicit_zeros(self) -> bool:
+        """True iff any *stored* entry has the value 0.0.
+
+        Matrix Market files (and hand-built matrices) may store zeros
+        explicitly; they occupy CSR slots and are processed by the SpMV
+        kernels, but they are not nonzeros of the mathematical matrix —
+        the structural features (:mod:`repro.features`) ignore them.
+        """
+        return bool(np.any(self.values == 0.0))
+
+    def drop_explicit_zeros(self) -> "CSRMatrix":
+        """Return a copy without explicitly stored zero entries.
+
+        The sorted-columns invariant is preserved (dropping entries
+        never reorders the survivors), so this is a cheap O(nnz) mask —
+        no COO round trip.  Returns ``self`` unchanged when there is
+        nothing to drop.
+        """
+        keep = self.values != 0.0
+        if bool(keep.all()):
+            return self
+        kept_per_row = np.zeros(self.nrows, dtype=np.int64)
+        np.add.at(kept_per_row, self.row_of_entry()[~keep], -1)
+        kept_per_row += self.row_lengths()
+        rowptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(kept_per_row, out=rowptr[1:])
+        return CSRMatrix(self.nrows, self.ncols, rowptr,
+                         self.colidx[keep], self.values[keep])
 
     def pattern_only(self) -> "CSRMatrix":
         """Return a copy whose values are all 1.0 (structure analyses)."""

@@ -186,6 +186,10 @@ def _load_journal_summary(path: str) -> dict:
     from ..harness.engine import SweepJournal  # lazy: obs stays light
 
     signature, records, failures = SweepJournal.load(path)
+    if signature is None:
+        # the engine treats an empty/torn-only journal as a clean fresh
+        # start, but as a *run artifact* it is a problem worth flagging
+        raise ValueError(f"{path}: journal has no readable header line")
     return {"signature": signature, "records": len(records),
             "failures": len(failures)}
 

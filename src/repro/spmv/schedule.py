@@ -60,6 +60,19 @@ class Schedule:
         """Entries owned by each thread (length ``nthreads``)."""
         return np.diff(self.entry_start)
 
+    def active_threads(self) -> np.ndarray:
+        """Boolean mask (length ``nthreads``) of threads owning at least
+        one row or one entry.
+
+        When ``nthreads > nrows`` the static splits leave trailing
+        threads with empty shares; those are not part of the actual
+        thread partition and must not enter partition statistics such
+        as the imbalance factor.  A thread owning only *empty* rows is
+        still active — its share of the row partition is real, its
+        work just happens to be zero.
+        """
+        return (np.diff(self.row_start) > 0) | (np.diff(self.entry_start) > 0)
+
     def thread_entry_range(self, t: int) -> tuple:
         return int(self.entry_start[t]), int(self.entry_start[t + 1])
 

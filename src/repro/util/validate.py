@@ -40,6 +40,43 @@ def check_square(nrows: int, ncols: int, exc_type=MatrixFormatError) -> None:
     )
 
 
+def check_sorted_columns(rowptr: np.ndarray, colidx: np.ndarray,
+                         exc_type=MatrixFormatError) -> None:
+    """Validate the canonical-CSR column precondition.
+
+    Every feature routine (``bandwidth``, ``profile``, ``offdiag``),
+    every SpMV kernel and the reuse-statistics layer assume that within
+    each row the column indices are **strictly increasing** — sorted
+    and duplicate-free.  :class:`repro.matrix.csr.CSRMatrix` enforces
+    this at construction through this validator, so CSR instances are
+    canonical by the time they reach any consumer; code that assembles
+    raw ``(rowptr, colidx)`` arrays outside the constructor (IO
+    readers, converters) can call it directly.
+
+    ``rowptr`` must already satisfy the monotonicity invariants
+    (``rowptr[0] == 0``, non-decreasing); only the column ordering is
+    checked here.  Raises ``exc_type`` on the first violation.
+    """
+    rowptr = np.asarray(rowptr, dtype=np.int64)
+    colidx = np.asarray(colidx)
+    nnz = colidx.size
+    if nnz < 2:
+        return
+    # Vectorised: adjacent colidx must strictly increase except across
+    # row boundaries.
+    increasing = colidx[1:] > colidx[:-1]
+    boundary = np.zeros(nnz, dtype=bool)
+    # first entry of rows 1..nrows-1; starts equal to nnz belong to an
+    # empty trailing region and mark no real entry
+    starts = rowptr[1:-1]
+    boundary[starts[starts < nnz]] = True
+    same_row = ~boundary[1:]
+    require(bool(np.all(increasing | ~same_row)), exc_type,
+            "column indices must be strictly increasing within rows "
+            "(sorted, duplicate-free) — canonicalize through "
+            "repro.matrix.build.csr_from_coo")
+
+
 def check_index_array(name: str, arr: np.ndarray, upper: int) -> np.ndarray:
     """Validate an integer index array with entries in ``[0, upper)``.
 

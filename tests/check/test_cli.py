@@ -1,0 +1,87 @@
+"""Exit-code and wiring tests for ``python -m repro check``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.check.findings import CheckReport
+from repro.harness.cli import main as repro_main
+
+
+def test_check_quick_single_suite_exits_zero(capsys):
+    rc = repro_main(["check", "--quick", "--suites", "features"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "check: OK" in out
+
+
+def test_check_unknown_suite_exits_two():
+    assert repro_main(["check", "--suites", "nope"]) == 2
+
+
+def test_check_findings_exit_nonzero(monkeypatch, capsys):
+    from repro.check import cli as check_cli
+
+    dirty = CheckReport(suites=["features"])
+    dirty.fail("features", "bandwidth-matches-oracle", "matrix=m",
+               "seeded failure")
+    monkeypatch.setattr(check_cli, "run_check",
+                        lambda **kw: dirty)
+    rc = repro_main(["check", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAILED" in out
+    assert "bandwidth-matches-oracle" in out
+
+
+def test_check_writes_json_report(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    rc = repro_main(["check", "--quick", "--suites", "kernels",
+                     "--json", str(path)])
+    capsys.readouterr()
+    assert rc == 0
+    data = json.loads(path.read_text())
+    assert data["ok"] is True
+    assert data["suites"] == ["kernels"]
+    assert data["cases"] > 0
+
+
+def test_quick_mode_subsamples(monkeypatch):
+    from repro.check import cli as check_cli
+
+    seen = {}
+
+    def spy(name, matrices, seed):
+        seen[name] = [a.nrows for _, a in matrices]
+        return CheckReport(suites=[name])
+
+    monkeypatch.setattr(check_cli, "_run_suite", spy)
+    report = check_cli.run_check(suites=("features",), seed=0, quick=True)
+    assert report.ok
+    assert seen["features"], "quick corpus must not be empty"
+    assert max(seen["features"]) <= check_cli.QUICK_MAX_ROWS
+
+
+def test_mutation_smoke_cli_flag(monkeypatch, capsys, tmp_path):
+    from repro.check import cli as check_cli
+    from repro.check import mutation as mutation_mod
+    from repro.check.mutation import MutationOutcome, MutationReport
+
+    good = MutationReport(outcomes=[MutationOutcome(
+        "fault", True, 1, 1, "seeded")])
+    monkeypatch.setattr(mutation_mod, "run_mutation_smoke",
+                        lambda seed=0: good)
+    path = tmp_path / "smoke.json"
+    rc = repro_main(["check", "--mutation-smoke", "--json", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "every fault caught" in out
+    assert json.loads(path.read_text())["ok"] is True
+
+    bad = MutationReport(outcomes=[MutationOutcome(
+        "fault", False, 0, 0, "seeded")])
+    monkeypatch.setattr(mutation_mod, "run_mutation_smoke",
+                        lambda seed=0: bad)
+    rc = repro_main(["check", "--mutation-smoke"])
+    capsys.readouterr()
+    assert rc == 1

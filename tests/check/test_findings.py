@@ -1,0 +1,58 @@
+"""Unit tests for the finding/report containers."""
+
+from __future__ import annotations
+
+from repro.check.findings import CheckReport, Finding
+
+
+def test_finding_renders_suite_invariant_subject():
+    f = Finding("features", "bandwidth-matches-oracle", "matrix=m0",
+                "bandwidth()=3, dense oracle=2")
+    s = str(f)
+    assert "features" in s
+    assert "bandwidth-matches-oracle" in s
+    assert "matrix=m0" in s
+
+
+def test_report_check_records_case_and_finding():
+    r = CheckReport(suites=["s"])
+    assert r.check(True, "s", "inv", "subj", "detail")
+    assert not r.check(False, "s", "inv", "subj", "detail")
+    assert r.cases == 2
+    assert len(r.findings) == 1
+    assert not r.ok
+
+
+def test_report_ok_when_clean():
+    r = CheckReport(suites=["s"])
+    r.case(5)
+    assert r.ok
+    assert r.cases == 5
+
+
+def test_report_merge_accumulates():
+    a = CheckReport(suites=["a"])
+    a.case(3)
+    b = CheckReport(suites=["b"])
+    b.fail("b", "inv", "subj", "boom")
+    a.merge(b)
+    assert a.cases == 3  # fail() records the finding, not a case
+    assert len(a.findings) == 1
+    assert a.suites == ["a", "b"]
+    assert not a.ok
+
+
+def test_report_round_trips_to_dict():
+    r = CheckReport(suites=["s"])
+    r.fail("s", "inv", "subj", "boom")
+    d = r.to_dict()
+    assert d["ok"] is False
+    assert d["findings"][0]["invariant"] == "inv"
+
+
+def test_render_caps_findings():
+    r = CheckReport(suites=["s"])
+    for i in range(60):
+        r.fail("s", "inv", f"subj{i}", "boom")
+    text = r.render(max_findings=50)
+    assert "10 more" in text

@@ -1,0 +1,102 @@
+"""The check suites hold on clean code and notice injected defects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.corpus import check_corpus, edge_corpus
+from repro.check.features import check_features
+from repro.check.kernels import check_kernels
+from repro.check.model import check_model
+from repro.check.permutations import check_permutations
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    return check_corpus(seed=0)[:2] + edge_corpus(seed=0)
+
+
+def _failed(report):
+    return [str(f) for f in report.findings]
+
+
+def test_features_clean_on_corpus(matrices):
+    report = check_features(matrices)
+    assert report.ok, _failed(report)
+    assert report.cases > 0
+
+
+def test_features_cover_explicit_zero_and_empty_matrices(matrices):
+    names = [n for n, _ in matrices]
+    assert any("explicit-zeros" in n for n in names)
+    assert any("empty" in n for n in names)
+
+
+def test_kernels_clean_on_corpus(matrices):
+    report = check_kernels(matrices, seed=0)
+    assert report.ok, _failed(report)
+
+
+def test_permutations_clean_on_small_square(matrices):
+    square = [(n, a) for n, a in matrices if a.is_square][:3]
+    report = check_permutations(square, orderings=("RCM", "Gray"), seed=0)
+    assert report.ok, _failed(report)
+
+
+def test_permutations_skip_rectangular(matrices):
+    rect = [(n, a) for n, a in matrices if not a.is_square]
+    assert rect, "edge corpus must include a rectangular matrix"
+    report = check_permutations(rect, orderings=("RCM",), seed=0)
+    assert report.ok and report.cases == 0
+
+
+def test_model_clean_on_corpus(matrices):
+    report = check_model(check_corpus(seed=0)[:2],
+                         architectures=("Rome",))
+    assert report.ok, _failed(report)
+
+
+def test_features_notice_a_wrong_bandwidth(matrices, monkeypatch):
+    import repro.features as features
+
+    orig = features.bandwidth
+    monkeypatch.setattr(features, "bandwidth", lambda a: orig(a) + 1)
+    report = check_features(matrices)
+    assert any(f.invariant == "bandwidth-matches-oracle"
+               for f in report.findings)
+
+
+def test_kernels_notice_a_corrupted_result(matrices, monkeypatch):
+    from repro.spmv import kernels
+
+    orig = kernels.spmv_1d
+
+    def corrupt(a, x, schedule):
+        y = orig(a, x, schedule)
+        if y.size:
+            y[0] += 1.0
+        return y
+
+    monkeypatch.setattr(kernels, "spmv_1d", corrupt)
+    report = check_kernels(matrices, seed=0)
+    assert any(f.invariant == "spmv-matches-dense-oracle"
+               for f in report.findings)
+
+
+def test_edge_corpus_is_deterministic():
+    a = dict(edge_corpus(seed=0))
+    b = dict(edge_corpus(seed=0))
+    assert a.keys() == b.keys()
+    for name in a:
+        assert np.array_equal(a[name].colidx, b[name].colidx)
+        assert np.array_equal(a[name].values, b[name].values)
+
+
+def test_artifacts_clean(tmp_path):
+    from repro.check.artifacts import check_artifacts
+
+    report = check_artifacts(seed=0, workdir=str(tmp_path))
+    assert report.ok, _failed(report)
+    assert (tmp_path / "check_sweep.jsonl").exists()
+    assert (tmp_path / "check_manifest.json").exists()

@@ -124,6 +124,84 @@ def test_imbalance_factor_known():
     assert imbalance_factor(s) == 30 / 20
 
 
+def test_imbalance_more_threads_than_rows():
+    # 3 balanced rows split over 8 threads: 5 shares are empty.  Those
+    # threads are not part of the partition, so the factor must match
+    # the 3-thread split instead of being diluted by the empty shares.
+    from repro.features import imbalance_factor_1d
+    from repro.spmv import schedule_1d
+
+    dense = np.ones((3, 3))
+    a = csr_from_dense(dense)
+    assert imbalance_factor_1d(a, 8) == pytest.approx(1.0)
+    assert imbalance_factor_1d(a, 8) == imbalance_factor_1d(a, 3)
+    s = schedule_1d(a, 8)
+    assert int(s.active_threads().sum()) == 3
+
+
+def test_imbalance_empty_rows_keep_thread_active():
+    # thread 1 owns rows 2..3 which are both empty: it stays in the
+    # partition (0 nnz share), so max/mean = 4 / 2 = 2
+    from repro.matrix import coo_from_arrays, csr_from_coo
+    from repro.spmv import schedule_1d
+
+    a = csr_from_coo(coo_from_arrays(
+        4, 4, [0, 0, 1, 1], [0, 1, 0, 1]))
+    s = schedule_1d(a, 2)
+    assert list(s.active_threads()) == [True, True]
+    assert imbalance_factor(s) == pytest.approx(2.0)
+
+
+def test_imbalance_zero_nnz_matrix_is_balanced():
+    from repro.features import imbalance_factor_1d
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    a = csr_from_coo(coo_from_arrays(4, 4, [], []))
+    assert imbalance_factor_1d(a, 8) == 1.0
+
+
+def test_schedule_1d_more_threads_than_rows_covers_all_rows():
+    from repro.spmv import schedule_1d
+
+    dense = np.ones((3, 5))
+    a = csr_from_dense(dense)
+    s = schedule_1d(a, 8)
+    assert int(s.row_start[-1]) == 3
+    assert int(s.entry_start[-1]) == a.nnz
+    assert int(s.nnz_per_thread().sum()) == a.nnz
+
+
+def test_features_ignore_explicit_zeros():
+    # an explicitly stored zero far off the diagonal must not widen the
+    # band/envelope or count as a cut edge: the CSR path must agree
+    # with the dense round trip (which drops exact zeros)
+    from repro.matrix.csr import CSRMatrix
+
+    a = CSRMatrix(4, 4,
+                  np.array([0, 2, 3, 4, 5]),
+                  np.array([0, 3, 1, 2, 3]),
+                  np.array([1.0, 0.0, 1.0, 1.0, 1.0]))
+    assert a.has_explicit_zeros()
+    b = csr_from_dense(a.to_dense())
+    assert bandwidth(a) == bandwidth(b) == 0
+    assert profile(a) == profile(b)
+    assert offdiagonal_nonzeros(a, 2) == offdiagonal_nonzeros(b, 2) == 0
+
+
+def test_drop_explicit_zeros_roundtrip(rng):
+    from repro.matrix.csr import CSRMatrix
+
+    a = random_csr(12, 60, rng)
+    values = a.values.copy()
+    values[::4] = 0.0
+    dirty = CSRMatrix(a.nrows, a.ncols, a.rowptr, a.colidx, values)
+    clean = dirty.drop_explicit_zeros()
+    assert not clean.has_explicit_zeros()
+    assert np.array_equal(clean.to_dense(), dirty.to_dense())
+    # clean matrices are returned as-is
+    assert clean.drop_explicit_zeros() is clean
+
+
 def test_collect_features(rng):
     a = random_csr(30, 120, rng)
     rec = collect_features(a, 4)

@@ -115,11 +115,50 @@ def test_journal_without_resume_starts_fresh(tiny_corpus, rome, tmp_path):
     assert len(records) == eng.metrics.cells["total"]
 
 
-def test_journal_load_rejects_headerless_file(tmp_path):
+def test_journal_load_rejects_headerless_file_with_entries(tmp_path):
+    # entries whose header is gone cannot be matched to a sweep
     path = tmp_path / "broken.jsonl"
-    path.write_text('{"type": "record"}\nnot json\n')
+    failed = json.dumps({"type": "failed", "cell": ["m", "RCM", "1d", "Rome"],
+                         "data": {"matrix": "m", "ordering": "RCM",
+                                  "kernel": "1d", "architecture": "Rome",
+                                  "stage": "reorder", "error": "E",
+                                  "message": "boom"}})
+    path.write_text(failed + "\n")
     with pytest.raises(HarnessError, match="header"):
         SweepJournal.load(str(path))
+
+
+def test_journal_load_empty_file_is_no_completed_cells(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert SweepJournal.load(str(path)) == (None, {}, [])
+
+
+def test_resume_from_zero_byte_journal_starts_fresh(
+        tiny_corpus, rome, tmp_path):
+    # a sweep killed before its header flushed leaves a 0-byte file;
+    # resuming from it must behave exactly like a fresh run
+    journal = str(tmp_path / "sweep.jsonl")
+    open(journal, "wt").close()
+    _, clean = _run(tiny_corpus, rome)
+    eng, resumed = _run(tiny_corpus, rome, journal=journal, resume=True)
+    assert resumed.records == clean.records
+    assert eng.metrics.cells["resumed"] == 0
+    # and the healed journal now supports a normal full resume
+    eng2, _ = _run(tiny_corpus, rome, journal=journal, resume=True)
+    assert eng2.metrics.cells["resumed"] == eng2.metrics.cells["total"]
+
+
+def test_resume_from_torn_only_journal_starts_fresh(
+        tiny_corpus, rome, tmp_path):
+    # the only line is the torn prefix of the header (killed mid-write)
+    journal = str(tmp_path / "sweep.jsonl")
+    with open(journal, "wt") as f:
+        f.write('{"type": "header", "versi')
+    _, clean = _run(tiny_corpus, rome)
+    eng, resumed = _run(tiny_corpus, rome, journal=journal, resume=True)
+    assert resumed.records == clean.records
+    assert eng.metrics.cells["resumed"] == 0
 
 
 # ----------------------------------------------------------------------

@@ -83,6 +83,49 @@ def test_advisor_lru_cache_stats_shape():
     assert stats["size_bytes"] >= 2 * np.arange(4).nbytes
 
 
+def test_idle_caches_report_zero_hit_rate():
+    # zero accesses must never divide by zero (the guard lives once, in
+    # cache_stats) — regression across every cache sharing the schema
+    from repro.advisor.cache import LRUCache as AdvisorLRU
+    from repro.harness.runner import OrderingCache
+    from repro.machine.cache import LRUCache as SimLRU
+
+    for stats in (OrderingCache().stats,
+                  AdvisorLRU(capacity=2).stats,
+                  SimLRU(size=1024, line_size=64, associativity=2).stats):
+        _assert_shared_shape(stats)
+        assert stats["hit_rate"] == 0.0
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+def test_simulator_cache_stats_shape():
+    from repro.machine.cache import LRUCache
+
+    cache = LRUCache(size=128, line_size=64, associativity=1)  # 2 sets
+    cache.access(0)        # miss (line 0, set 0)
+    cache.access(0)        # hit
+    cache.access(128)      # miss (line 2, set 0) — evicts line 0
+    stats = cache.stats
+    _assert_shared_shape(stats)
+    assert stats["hits"] == 1 and stats["misses"] == 2
+    assert stats["evictions"] == 1
+    assert stats["size_bytes"] == 64  # one line resident
+    assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+
+def test_simulator_cache_vectorised_stats_match_reference():
+    from repro.machine.cache import LRUCache
+
+    rng = np.random.default_rng(7)
+    addrs = rng.integers(0, 16, size=200) * 8
+    fast = LRUCache(size=256, line_size=64, associativity=4)  # 1 set
+    slow = LRUCache(size=256, line_size=64, associativity=4)
+    fast.access_many(addrs)           # vectorised empty-cache path
+    for a in addrs:
+        slow.access(int(a))           # per-access reference loop
+    assert fast.stats == slow.stats
+
+
 def test_reuse_stats_cache_shape(small_symmetric_matrix):
     from repro.machine.reuse import ReuseStats, reuse_cache_stats
 

@@ -1,0 +1,64 @@
+"""Every reorderer is deterministic for a fixed seed *across processes*.
+
+The in-process half of this property lives in the permutation check
+suite (``ordering-deterministic-for-seed``); it cannot catch
+nondeterminism seeded by interpreter state, such as iteration order of
+a hash-randomised ``dict``/``set`` leaking into a tie-break.  Here two
+fresh interpreters with *different* ``PYTHONHASHSEED`` values compute
+every registered ordering on the same fixed-seed matrix; the
+permutations must agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = r"""
+import json, sys
+from repro.generators import build_corpus
+from repro.reorder import registry
+
+entry = build_corpus("tiny", seed=0)[0]
+out = {}
+for name in registry.ALL_ORDERINGS + registry.EXTRA_ORDERINGS:
+    result = registry.compute_ordering(entry.matrix, name, nparts=4, seed=0)
+    out[name] = result.perm.tolist()
+json.dump(out, sys.stdout)
+"""
+
+
+def _perms_in_subprocess(hashseed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT], env=env, capture_output=True,
+        text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.slow
+def test_orderings_deterministic_across_processes():
+    first = _perms_in_subprocess("1")
+    second = _perms_in_subprocess("2")
+    assert first.keys() == second.keys()
+    diff = [name for name in first if first[name] != second[name]]
+    assert not diff, (
+        f"orderings {diff} differ between two interpreters with "
+        "different PYTHONHASHSEED — a hash-randomised container leaks "
+        "into the permutation")
+
+
+@pytest.mark.slow
+def test_orderings_stable_rerun_same_process_env():
+    first = _perms_in_subprocess("7")
+    second = _perms_in_subprocess("7")
+    assert first == second
