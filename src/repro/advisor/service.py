@@ -12,12 +12,16 @@ behind two LRU caches so repeated questions cost a dict lookup:
 
 ``advise`` answers one request with a ranked list of
 :class:`repro.advisor.model.Advice`; ``advise_many`` fans feature
-extraction for a batch of matrices out over a thread pool (NumPy
-releases the GIL in the hot reductions).
+extraction for a batch of matrices out over a reusable thread pool
+owned by the instance (NumPy releases the GIL in the hot reductions).
+The serving daemon (:mod:`repro.serve`) shares one warm ``Advisor``
+across every client and sizes the pool via the ``workers`` knob;
+``close()`` releases the pool when the advisor retires.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -34,21 +38,31 @@ from .model import AdvisorModel
 #: instances — a serving process runs one advisor).
 _REQUESTS = REGISTRY.counter("advisor.requests")
 _LATENCY = REGISTRY.histogram("advisor.request_seconds")
+#: ``advise_many`` batch sizes — evidence that the serving layer's
+#: micro-batches actually reach the batched fast path.
+_BATCH_SIZES = REGISTRY.histogram(
+    "advisor.batch_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256))
 
 
 class Advisor:
     """Feature-driven reordering selection with request caching."""
 
     def __init__(self, model: AdvisorModel, iterations: float | None = None,
-                 cache_size: int = 256) -> None:
+                 cache_size: int = 256,
+                 workers: int | None = None) -> None:
         if not model.is_trained:
             raise AdvisorError("Advisor needs a trained model")
         self.model = model
         #: default SpMV iteration budget for the break-even gate
         #: (None disables cost gating unless a request overrides it)
         self.iterations = iterations
+        #: thread count of the reusable ``advise_many`` pool (None lets
+        #: :class:`ThreadPoolExecutor` pick its default)
+        self.workers = workers
         self._features = LRUCache(cache_size)
         self._advice = LRUCache(cache_size)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -94,7 +108,9 @@ class Advisor:
         ``matrices`` holds :class:`CSRMatrix` instances (or corpus
         entries exposing ``.matrix``/``.name``); ``names`` optionally
         labels bare matrices for cache keying.  Feature extraction for
-        distinct matrices runs in parallel.
+        distinct matrices runs in parallel on the instance's reusable
+        pool (sized by the ``workers`` constructor knob); passing
+        ``max_workers`` forces a one-off pool of that size instead.
         """
         mats = []
         labels = []
@@ -107,12 +123,41 @@ class Advisor:
                 labels.append(names[i] if names else "")
         if not mats:
             return []
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(
-                lambda im: self.advise(mats[im], arch, kernel,
-                                       matrix_name=labels[im],
-                                       iterations=iterations),
-                range(len(mats))))
+        _BATCH_SIZES.observe(len(mats))
+
+        def one(im: int):
+            return self.advise(mats[im], arch, kernel,
+                               matrix_name=labels[im],
+                               iterations=iterations)
+
+        if max_workers is not None:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(one, range(len(mats))))
+        return list(self._executor().map(one, range(len(mats))))
+
+    # ------------------------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        """The lazily created, reusable ``advise_many`` pool."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="advisor")
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the reusable thread pool (idempotent); the next
+        ``advise_many`` call would lazily recreate it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Advisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ __all__ = [
     "check_kernels",
     "check_model",
     "check_permutations",
+    "check_serving",
     "edge_corpus",
     "run_check",
     "run_mutation_smoke",
@@ -45,6 +46,9 @@ def __getattr__(name):
     if name == "check_artifacts":
         from .artifacts import check_artifacts
         return check_artifacts
+    if name == "check_serving":
+        from .serving import check_serving
+        return check_serving
     if name == "run_check":
         from .cli import run_check
         return run_check

@@ -5,7 +5,7 @@ Modes
 * default          run every suite on the seeded check corpus
 * ``--quick``      subsample to small matrices (CI tier, a few seconds)
 * ``--suites``     comma-separated subset (features, kernels,
-                   permutations, model, artifacts)
+                   permutations, model, artifacts, serving)
 * ``--mutation-smoke``  inject the seeded faults of
   :mod:`repro.check.mutation` and assert each one is caught — a test
   of the oracle layer itself
@@ -31,7 +31,8 @@ log = get_logger("check")
 #: must stay CI-cheap)
 QUICK_MAX_ROWS = 256
 
-SUITES = ("features", "kernels", "permutations", "model", "artifacts")
+SUITES = ("features", "kernels", "permutations", "model", "artifacts",
+          "serving")
 
 
 def _run_suite(name: str, matrices, seed: int) -> CheckReport:
@@ -50,6 +51,9 @@ def _run_suite(name: str, matrices, seed: int) -> CheckReport:
     if name == "artifacts":
         from .artifacts import check_artifacts
         return check_artifacts(seed=seed)
+    if name == "serving":
+        from .serving import check_serving
+        return check_serving(seed=seed)
     raise ValueError(f"unknown check suite {name!r}")
 
 

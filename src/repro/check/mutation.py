@@ -79,6 +79,12 @@ def _artifacts_target(seed: int) -> CheckReport:
     return check_artifacts(seed=seed)
 
 
+def _serving_target(seed: int) -> CheckReport:
+    from .serving import check_serving
+
+    return check_serving(seed=seed)
+
+
 def _caches_target(seed: int) -> CheckReport:
     from ..generators import build_corpus
     from .artifacts import _check_caches
@@ -231,6 +237,25 @@ def _fault_manifest_missing_field():
     return _patched(RunManifest, "write", truncated)
 
 
+def _fault_serve_drops_queued_request():
+    import asyncio
+
+    from ..serve.batching import MicroBatcher
+
+    orig = MicroBatcher.submit
+    state = {"n": 0}
+
+    async def dropping(self, payload):
+        state["n"] += 1
+        if state["n"] == 2:
+            # the request vanishes from the queue: its future never
+            # resolves, so no response is ever written for it
+            return await asyncio.get_running_loop().create_future()
+        return await orig(self, payload)
+
+    return _patched(MicroBatcher, "submit", dropping)
+
+
 def _fault_hit_rate_unguarded():
     from ..obs import cachestats
 
@@ -291,6 +316,11 @@ FAULTS = (
           "OrderingCache serves an identity permutation on cache hits",
           "cache-serves-fresh-result", _caches_target,
           _fault_stale_cache_entry),
+    Fault("serve-drops-queued-request",
+          "the serving micro-batcher silently drops the second queued "
+          "request (its future never resolves)",
+          "serving-answers-every-request", _serving_target,
+          _fault_serve_drops_queued_request),
     Fault("hit-rate-unguarded",
           "cache_stats divides by hits+misses without a zero guard",
           "cache-hit-rate-finite", _caches_target,

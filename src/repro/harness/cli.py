@@ -9,6 +9,8 @@ Commands
 ``sweep``       run the parallel, resumable measurement sweep engine
 ``recommend``   suggest an ordering for a Matrix Market file
 ``advise``      learned, ranked ordering selection (repro.advisor)
+``serve``       run the always-on advisor daemon (repro.serve)
+``loadgen``     replay seeded zipf/bursty traffic at a daemon
 ``report``      render/validate trace + journal + manifest artifacts
 ``check``       differential tests and invariant checks (oracle layer)
 
@@ -285,8 +287,22 @@ def _cmd_report(args) -> int:
     return 0
 
 
+class _CommandParser(argparse.ArgumentParser):
+    """An ArgumentParser whose unknown-subcommand error always lists
+    every registered command (the stock "invalid choice" message is
+    easy to truncate and names only the parse failure)."""
+
+    commands: tuple = ()
+
+    def error(self, message: str):
+        if "invalid choice" in message and self.commands:
+            message = (f"{message}\nregistered commands: "
+                       + ", ".join(self.commands))
+        super().error(message)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _CommandParser(
         prog="repro",
         description="Reproduction of 'Bringing Order to Sparsity' "
                     "(SC '23)")
@@ -433,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     from ..check.cli import add_check_parser
     add_check_parser(sub)
+
+    from ..serve.cli import add_serve_parsers
+    add_serve_parsers(sub)
+
+    parser.commands = tuple(sorted(sub.choices))
     return parser
 
 

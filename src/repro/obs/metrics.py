@@ -39,7 +39,7 @@ from collections.abc import Mapping
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "CounterView",
-    "REGISTRY", "get_registry", "log_buckets",
+    "REGISTRY", "get_registry", "log_buckets", "snapshot_quantile",
 ]
 
 
@@ -178,6 +178,39 @@ class Histogram:
                     "sum": self._sum, "max": self._max,
                     "bounds": list(self.bounds),
                     "counts": list(self._counts)}
+
+
+def snapshot_quantile(entry: dict, q: float) -> float:
+    """Quantile estimate from a histogram *snapshot* (or delta) dict.
+
+    Mirrors :meth:`Histogram.quantile` — the upper bound of the bucket
+    holding the q-th observation, the recorded ``max`` for the
+    overflow slot — but works on the serialised shape, so the serving
+    daemon can report SLOs from a ``delta_since`` of the process
+    registry (i.e. *this daemon instance's* latencies, not whatever
+    an embedding test process observed before it started).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if entry.get("type") != "histogram":
+        raise ValueError(f"not a histogram snapshot: {entry!r}")
+    bounds = entry.get("bounds", [])
+    counts = entry.get("counts", [])
+    total = entry.get("count", 0)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    hi = entry.get("max", 0.0)
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= rank and c:
+            if i >= len(bounds):
+                return hi
+            # bucket bounds can overshoot the largest observation;
+            # an SLO report must never claim p95 > max
+            return min(bounds[i], hi) if hi > 0 else bounds[i]
+    return hi
 
 
 class MetricsRegistry:

@@ -1,0 +1,182 @@
+"""Request micro-batching: coalesce concurrent advise requests.
+
+The advisor's batched path (:meth:`repro.advisor.service.Advisor.
+advise_many`) amortizes thread-pool dispatch and shares cache locality
+across a whole batch — but network clients arrive one request at a
+time.  :class:`MicroBatcher` bridges the two: requests enqueue with a
+future, a single drain loop collects them into batches bounded by
+**max_batch** (size) and **max_linger_ms** (added latency), and each
+batch is handed to an async ``flush`` callback whose results resolve
+the futures in order.
+
+The linger bound is the serving trade the whole subsystem is built
+around: a request waits at most ``max_linger_ms`` for company, so
+batching can only add a fixed, configured latency — under light load
+batches degenerate to size 1 and the daemon behaves like the direct
+library call; under load the queue fills while the previous batch is
+in flight and batches grow toward ``max_batch`` with *no* added wait.
+
+Observability: every batch feeds the ``serve.batch_size`` histogram
+and every request's queue wait feeds ``serve.queue_wait_seconds`` —
+the bench gate (``benchmarks/bench_serving.py``) asserts the mean
+batch size exceeds 1 under load, which is the proof that batching
+actually happens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["MicroBatcher"]
+
+#: batch-size buckets: powers of two up to far beyond any sane
+#: ``max_batch`` (fixed bounds keep histograms mergeable, see
+#: :func:`repro.obs.metrics.log_buckets`)
+BATCH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_BATCHES = REGISTRY.counter("serve.batches")
+_BATCH_SIZES = REGISTRY.histogram("serve.batch_size",
+                                  bounds=BATCH_BOUNDS)
+_QUEUE_WAIT = REGISTRY.histogram("serve.queue_wait_seconds")
+
+#: queue sentinel that tells the drain loop to finish up and exit
+_STOP = object()
+
+
+class MicroBatcher:
+    """A bounded coalescing queue draining into an async batch callback.
+
+    Parameters
+    ----------
+    flush:
+        ``async callable(list[payload]) -> list[result]`` — must return
+        one result per payload, in order.  An exception fails every
+        request of that batch (each pending future gets it), never the
+        batcher itself.
+    max_batch:
+        Largest batch handed to ``flush``.
+    max_linger_ms:
+        Longest a request waits for companions once it is at the head
+        of an unfilled batch.
+    """
+
+    def __init__(self, flush, max_batch: int = 32,
+                 max_linger_ms: float = 5.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_linger_ms < 0:
+            raise ValueError(
+                f"max_linger_ms must be >= 0, got {max_linger_ms}")
+        self._flush = flush
+        self.max_batch = int(max_batch)
+        self.linger_s = float(max_linger_ms) / 1e3
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self.batches = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the drain loop on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop(), name="microbatcher-drain")
+
+    @property
+    def depth(self) -> int:
+        """Requests waiting in the queue (admission control reads
+        this *before* enqueueing)."""
+        return self._queue.qsize()
+
+    async def submit(self, payload):
+        """Enqueue one payload; resolves with ``(result, batch_size)``
+        — the flush result plus the size of the micro-batch that
+        carried it (serving responses report it to the client)."""
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        fut = asyncio.get_running_loop().create_future()
+        self.requests += 1
+        self._queue.put_nowait((payload, fut, time.perf_counter()))
+        return await fut
+
+    async def close(self) -> None:
+        """Stop accepting, drain everything queued, stop the loop."""
+        if self._closed:
+            if self._task is not None:
+                await self._task
+            return
+        self._closed = True
+        if self._task is not None:
+            self._queue.put_nowait(_STOP)
+            await self._task
+            self._task = None
+
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            head = await self._queue.get()
+            if head is _STOP:
+                return
+            batch = [head]
+            stop = False
+            deadline = loop.time() + self.linger_s
+            while len(batch) < self.max_batch and not stop:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # linger expired: take whatever is already waiting
+                    while len(batch) < self.max_batch \
+                            and not self._queue.empty():
+                        item = self._queue.get_nowait()
+                        if item is _STOP:
+                            stop = True
+                            break
+                        batch.append(item)
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(),
+                                                  timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stop = True
+                    break
+                batch.append(item)
+            await self._run_batch(batch)
+            if stop:
+                # flush whatever arrived before close() won the race
+                tail = []
+                while not self._queue.empty():
+                    item = self._queue.get_nowait()
+                    if item is not _STOP:
+                        tail.append(item)
+                for i in range(0, len(tail), self.max_batch):
+                    await self._run_batch(tail[i:i + self.max_batch])
+                return
+
+    async def _run_batch(self, batch: list) -> None:
+        now = time.perf_counter()
+        for _, _, enqueued in batch:
+            _QUEUE_WAIT.observe(now - enqueued)
+        _BATCHES.inc()
+        _BATCH_SIZES.observe(len(batch))
+        self.batches += 1
+        payloads = [payload for payload, _, _ in batch]
+        try:
+            results = await self._flush(payloads)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"flush returned {len(results)} results for "
+                    f"{len(batch)} payloads")
+        except Exception as e:  # noqa: BLE001 — failing the batch,
+            for _, fut, _ in batch:     # never the drain loop
+                if not fut.done():
+                    fut.set_exception(e)
+            return
+        for (_, fut, _), result in zip(batch, results):
+            if not fut.done():
+                fut.set_result((result, len(batch)))

@@ -1,0 +1,230 @@
+"""Deterministic traffic replay: seeded zipf popularity, bursty
+open-loop arrivals.
+
+Serving systems are judged under *open-loop* load — arrivals follow a
+schedule, not the server's pace, so a slow server grows a queue
+instead of quietly slowing its own clients.  :func:`generate_trace`
+builds the whole schedule up front from one seed:
+
+* **matrix popularity** is zipf over the corpus names (rank ``r``
+  drawn with probability ∝ ``r^-zipf_s``): a few matrices dominate,
+  the long tail keeps the feature cache honest — the skew every
+  production request log shows.
+* **arrival times** alternate between a base Poisson process at
+  ``rate`` req/s and burst windows at ``rate × burst_factor`` — the
+  duty cycle is ``burst_duty`` of every ``burst_period`` seconds.
+  Bursts are what admission control and micro-batching exist for.
+* **client identities** round through ``clients`` token-bucket
+  tenants.
+
+Two calls with equal arguments return identical traces (the seeded
+determinism test and the bench gate rely on it).  :func:`replay`
+fires the trace at a live daemon and returns a
+:class:`LoadgenReport`; ``python -m repro loadgen`` wraps it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.log import get_logger
+from ..util.rng import as_rng
+from .client import ServeUnavailable, post_json
+
+__all__ = ["LoadgenReport", "TraceRequest", "generate_trace", "replay"]
+
+log = get_logger("loadgen")
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One scheduled request of a generated trace."""
+
+    id: int
+    t: float          # seconds after replay start (open-loop schedule)
+    matrix: str
+    client: str
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "t": round(self.t, 6),
+                "matrix": self.matrix, "client": self.client}
+
+
+def generate_trace(names, n: int, seed=0, rate: float = 200.0,
+                   zipf_s: float = 1.1, burst_factor: float = 4.0,
+                   burst_period: float = 0.5, burst_duty: float = 0.5,
+                   clients: int = 4) -> list:
+    """A deterministic open-loop request schedule over ``names``.
+
+    ``rate`` is the *base* arrival rate; within the burst windows the
+    instantaneous rate is ``rate * burst_factor``.  All randomness
+    comes from ``seed`` via one PCG64 stream, so equal arguments yield
+    byte-equal traces.
+    """
+    names = list(names)
+    if not names:
+        raise ValueError("generate_trace needs at least one matrix name")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if rate <= 0 or burst_factor < 1 or clients < 1:
+        raise ValueError(
+            f"invalid rate={rate} burst_factor={burst_factor} "
+            f"clients={clients}")
+    if not 0.0 < burst_duty <= 1.0 or burst_period <= 0:
+        raise ValueError(
+            f"invalid burst_duty={burst_duty} burst_period={burst_period}")
+    rng = as_rng(seed)
+    ranks = np.arange(1, len(names) + 1, dtype=float)
+    weights = ranks ** -float(zipf_s)
+    weights /= weights.sum()
+    picks = rng.choice(len(names), size=n, p=weights)
+    client_ids = rng.integers(0, clients, size=n)
+    # arrivals: exponential gaps whose rate depends on the phase of the
+    # burst cycle at the *current* point in time (a thinned process)
+    gaps = rng.exponential(1.0, size=n)
+    trace = []
+    t = 0.0
+    for i in range(n):
+        in_burst = (t % burst_period) < burst_period * burst_duty
+        r = rate * burst_factor if in_burst else rate
+        t += gaps[i] / r
+        trace.append(TraceRequest(
+            id=i, t=t, matrix=names[int(picks[i])],
+            client=f"c{int(client_ids[i])}"))
+    return trace
+
+
+@dataclass
+class LoadgenReport:
+    """Client-side outcome of one open-loop replay."""
+
+    requests: int = 0
+    ok: int = 0
+    rejected: dict = field(default_factory=dict)   # reason -> count
+    errors: dict = field(default_factory=dict)     # reason -> count
+    transport_failures: int = 0
+    duration_s: float = 0.0
+    offered_rps: float = 0.0
+    achieved_rps: float = 0.0
+    latency_ms: dict = field(default_factory=dict)
+    responses: dict = field(default_factory=dict)  # id -> ok body
+    batch_sizes: list = field(default_factory=list)
+
+    @property
+    def answered(self) -> int:
+        """Requests that got *any* structured response."""
+        return (self.ok + sum(self.rejected.values())
+                + sum(self.errors.values()))
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests, "ok": self.ok,
+            "rejected": dict(self.rejected),
+            "errors": dict(self.errors),
+            "transport_failures": self.transport_failures,
+            "duration_s": round(self.duration_s, 4),
+            "offered_rps": round(self.offered_rps, 2),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "latency_ms": self.latency_ms,
+            "mean_batch_size": (round(float(np.mean(self.batch_sizes)),
+                                      3) if self.batch_sizes else 0.0),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen: {self.requests} request(s) in "
+            f"{self.duration_s:.2f}s "
+            f"(offered {self.offered_rps:.0f} rps, achieved "
+            f"{self.achieved_rps:.0f} rps)",
+            f"  ok={self.ok} rejected={sum(self.rejected.values())} "
+            f"errors={sum(self.errors.values())} "
+            f"transport_failures={self.transport_failures}",
+        ]
+        if self.rejected:
+            lines.append("  rejects: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.rejected.items())))
+        if self.latency_ms:
+            lat = self.latency_ms
+            lines.append(
+                f"  latency ms: p50={lat['p50']} p95={lat['p95']} "
+                f"p99={lat['p99']} max={lat['max']}")
+        if self.batch_sizes:
+            lines.append(
+                f"  mean batch size seen by clients: "
+                f"{float(np.mean(self.batch_sizes)):.2f}")
+        return "\n".join(lines)
+
+
+async def _replay_async(trace, host: str, port: int,
+                        arch: str | None, kernel: str,
+                        iterations: float | None, top: int | None,
+                        timeout: float) -> LoadgenReport:
+    report = LoadgenReport(requests=len(trace))
+    latencies: list = []
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def fire(req: TraceRequest) -> None:
+        delay = start + req.t - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        payload = {"id": req.id, "matrix": req.matrix,
+                   "kernel": kernel, "client": req.client}
+        if arch is not None:
+            payload["arch"] = arch
+        if iterations is not None:
+            payload["iterations"] = iterations
+        if top is not None:
+            payload["top"] = top
+        t0 = time.perf_counter()
+        try:
+            status, body = await post_json(host, port, "/advise",
+                                           payload, timeout=timeout)
+        except ServeUnavailable as e:
+            report.transport_failures += 1
+            log.debug("request %d failed: %s", req.id, e)
+            return
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        if status == 200 and body.get("status") == "ok":
+            report.ok += 1
+            latencies.append(elapsed_ms)
+            report.responses[req.id] = body
+            report.batch_sizes.append(body.get("batch_size", 1))
+        elif body.get("status") == "rejected":
+            reason = body.get("reason", "unknown")
+            report.rejected[reason] = report.rejected.get(reason, 0) + 1
+        else:
+            reason = body.get("reason", f"http_{status}")
+            report.errors[reason] = report.errors.get(reason, 0) + 1
+
+    await asyncio.gather(*(fire(r) for r in trace))
+    report.duration_s = loop.time() - start
+    span = trace[-1].t if trace else 0.0
+    report.offered_rps = len(trace) / span if span > 0 else 0.0
+    report.achieved_rps = (report.ok / report.duration_s
+                           if report.duration_s > 0 else 0.0)
+    if latencies:
+        arr = np.asarray(latencies)
+        report.latency_ms = {
+            "p50": round(float(np.percentile(arr, 50)), 3),
+            "p95": round(float(np.percentile(arr, 95)), 3),
+            "p99": round(float(np.percentile(arr, 99)), 3),
+            "mean": round(float(arr.mean()), 3),
+            "max": round(float(arr.max()), 3),
+        }
+    return report
+
+
+def replay(trace, host: str = "127.0.0.1", port: int = 8377,
+           arch: str | None = None, kernel: str = "1d",
+           iterations: float | None = None, top: int | None = None,
+           timeout: float = 10.0) -> LoadgenReport:
+    """Fire a generated trace at a live daemon (open-loop) and collect
+    the client-side report.  Runs its own event loop; call from sync
+    code only."""
+    return asyncio.run(_replay_async(trace, host, port, arch, kernel,
+                                     iterations, top, timeout))

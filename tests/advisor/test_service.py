@@ -65,6 +65,42 @@ def test_advise_many_accepts_bare_matrices(advisor, corpus, arch):
     assert advisor.advise_many([], arch) == []
 
 
+def test_advise_many_reuses_instance_pool(model, corpus, arch):
+    """The reusable pool is created once, survives repeated batches,
+    and close() tears it down; max_workers still forces a one-off."""
+    advisor = Advisor(model, workers=2)
+    try:
+        assert advisor._pool is None          # lazy until first batch
+        advisor.advise_many(corpus[:2], arch, "1d")
+        pool = advisor._pool
+        assert pool is not None
+        advisor.advise_many(corpus[:2], arch, "2d")
+        assert advisor._pool is pool          # same pool, not per-call
+        # an explicit max_workers bypasses the instance pool
+        advisor.advise_many(corpus[:2], arch, "1d", max_workers=1)
+        assert advisor._pool is pool
+    finally:
+        advisor.close()
+    assert advisor._pool is None
+    advisor.close()                           # idempotent
+
+
+def test_advise_many_after_close_recreates_pool(model, corpus, arch):
+    advisor = Advisor(model, workers=1)
+    advisor.advise_many(corpus[:1], arch, "1d")
+    advisor.close()
+    batch = advisor.advise_many(corpus[:2], arch, "1d")
+    assert len(batch) == 2
+    advisor.close()
+
+
+def test_advisor_context_manager_closes_pool(model, corpus, arch):
+    with Advisor(model, workers=2) as advisor:
+        advisor.advise_many(corpus[:2], arch, "1d")
+        assert advisor._pool is not None
+    assert advisor._pool is None
+
+
 def test_lru_cache_evicts_and_counts():
     c = LRUCache(capacity=2)
     c.put("a", 1)

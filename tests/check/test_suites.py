@@ -100,3 +100,15 @@ def test_artifacts_clean(tmp_path):
     assert report.ok, _failed(report)
     assert (tmp_path / "check_sweep.jsonl").exists()
     assert (tmp_path / "check_manifest.json").exists()
+
+
+def test_serving_clean():
+    """The daemon-vs-oracle suite holds on a live loopback daemon."""
+    from repro.check.serving import check_serving
+
+    report = check_serving(seed=0)
+    assert report.ok, _failed(report)
+    assert report.suites == ["serving"]
+    invariants = {f.invariant for f in report.findings}
+    assert not invariants
+    assert report.cases >= 20  # replay + schema + reject checks

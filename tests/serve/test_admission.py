@@ -1,0 +1,102 @@
+"""Token bucket + admission controller, with a deterministic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionController, Rejection, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def test_bucket_starts_full_and_drains():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+    assert [bucket.try_acquire() for _ in range(4)] \
+        == [True, True, True, False]
+
+
+def test_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire() and bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.advance(0.5)           # 0.5s * 2 tokens/s = 1 token back
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    clock.advance(100.0)
+    assert bucket.tokens == pytest.approx(2.0)
+
+
+def test_retry_after_names_the_exact_wait():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire()
+    # empty; one token takes 1/4 s at 4 tokens/s
+    assert bucket.retry_after_s() == pytest.approx(0.25)
+
+
+def test_bucket_validates_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# the controller
+# ----------------------------------------------------------------------
+def test_per_client_isolation():
+    """A greedy client exhausts only its own bucket."""
+    clock = FakeClock()
+    ctl = AdmissionController(rate=1.0, burst=2.0, max_queue_depth=100,
+                              clock=clock)
+    assert ctl.admit("greedy", 0) is None
+    assert ctl.admit("greedy", 0) is None
+    rej = ctl.admit("greedy", 0)
+    assert isinstance(rej, Rejection)
+    assert rej.reason == "rate_limited" and rej.http_status == 429
+    assert rej.retry_after_ms > 0
+    # the polite client is untouched
+    assert ctl.admit("polite", 0) is None
+
+
+def test_queue_depth_shed():
+    ctl = AdmissionController(rate=None, burst=1.0, max_queue_depth=4)
+    assert ctl.admit("c", 3) is None
+    rej = ctl.admit("c", 4)
+    assert rej is not None and rej.reason == "queue_full"
+    assert rej.http_status == 429 and rej.retry_after_ms > 0
+
+
+def test_rate_none_disables_rate_limiting():
+    ctl = AdmissionController(rate=None, max_queue_depth=10)
+    assert all(ctl.admit("hammer", 0) is None for _ in range(1000))
+
+
+def test_bucket_eviction_caps_client_table():
+    clock = FakeClock()
+    ctl = AdmissionController(rate=1.0, burst=1.0, max_queue_depth=10,
+                              max_clients=3, clock=clock)
+    for i in range(10):
+        ctl.admit(f"c{i}", 0)
+    assert ctl.clients == 3
+
+
+def test_controller_validates_queue_depth():
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue_depth=0)
