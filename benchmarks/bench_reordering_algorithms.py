@@ -2,8 +2,19 @@
 
 Complements Table 5: times each algorithm on a fixed mid-size mesh via
 pytest-benchmark's statistics rather than a single shot.
+
+``test_fastpath_speedup_gate`` at the bottom is the PR 7 vectorisation
+gate: every rewritten kernel is timed against its always-scalar
+``*_reference`` twin on the same mesh, the permutations/outputs must be
+bit-identical (hard assert), and the geometric-mean speedup over the
+full kernel set — weak kernels included, no cherry-picking — is the
+regression gate.  The artifact lands in
+``benchmarks/output/<tier>/bench_reorder_fastpath.json``.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.generators import fem_mesh_2d
@@ -15,6 +26,7 @@ from repro.reorder import (
     nd_ordering,
     rcm_ordering,
 )
+from repro.util import format_table
 
 
 @pytest.fixture(scope="module")
@@ -45,3 +57,115 @@ def test_bench_gp(benchmark, matrix):
 
 def test_bench_hp(benchmark, matrix):
     benchmark.pedantic(hp_ordering, args=(matrix,), rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# vectorisation gate: fast vs *_reference, bit-identical and faster
+# ----------------------------------------------------------------------
+TRIALS = 3
+
+#: soft wall-clock floor for the geomean (measured ~5x on the dev
+#: machine; the margin absorbs CI noise — bit-identity is the hard gate)
+GEOMEAN_FLOOR = 3.5
+
+
+def _timed_best(fn, trials=TRIALS):
+    """(best seconds, last result) over ``trials`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _kernel_pairs(a):
+    """(name, fast thunk, reference thunk, comparator) for every
+    vectorised kernel, all closing over the same mesh."""
+    from repro.graph.adjacency import graph_from_matrix
+    from repro.graph.bfs import bfs_levels_fast, bfs_levels_reference
+    from repro.graph.hypergraph import column_net_hypergraph
+    from repro.hpartition.coarsen import (
+        heavy_connectivity_matching, heavy_connectivity_matching_reference)
+    from repro.hpartition.fm import (fm_refine_cutnet,
+                                     fm_refine_cutnet_reference)
+    from repro.hpartition.initial import (
+        greedy_grow_hbisection, greedy_grow_hbisection_reference)
+    from repro.partition.fm import (fm_refine_bisection,
+                                    fm_refine_bisection_reference)
+    from repro.partition.matching import (
+        heavy_edge_matching, heavy_edge_matching_reference,
+        matching_to_coarse_map, matching_to_coarse_map_reference)
+    from repro.reorder.amd import amd_ordering_reference
+    from repro.reorder.gray import gray_ordering_reference
+    from repro.reorder.rcm import rcm_ordering_reference
+    from repro.util.rng import as_rng
+
+    g = graph_from_matrix(a)
+    h = column_net_hypergraph(a)
+    gt0 = int(g.total_vertex_weight()) // 2
+    ht0 = int(h.vwgt.sum()) // 2
+    gside = (as_rng(0).random(g.nvertices) < 0.5).astype(np.int64)
+    hside = (as_rng(0).random(h.nvertices) < 0.5).astype(np.int64)
+    hem = heavy_edge_matching(g, rng=as_rng(0))
+    perm = np.array_equal
+
+    def eq_cmap(x, y):
+        return x[1] == y[1] and np.array_equal(x[0], y[0])
+
+    return (
+        ("rcm", lambda: rcm_ordering(a).perm,
+         lambda: rcm_ordering_reference(a).perm, perm),
+        ("amd", lambda: amd_ordering(a).perm,
+         lambda: amd_ordering_reference(a).perm, perm),
+        ("gray", lambda: gray_ordering(a).perm,
+         lambda: gray_ordering_reference(a).perm, perm),
+        ("bfs", lambda: bfs_levels_fast(g, 0),
+         lambda: bfs_levels_reference(g, 0), perm),
+        ("fm_graph", lambda: fm_refine_bisection(g, gside, gt0),
+         lambda: fm_refine_bisection_reference(g, gside, gt0), perm),
+        ("hem", lambda: heavy_edge_matching(g, rng=as_rng(0)),
+         lambda: heavy_edge_matching_reference(g, rng=as_rng(0)), perm),
+        ("mtcm", lambda: matching_to_coarse_map(hem),
+         lambda: matching_to_coarse_map_reference(hem), eq_cmap),
+        ("fm_cutnet", lambda: fm_refine_cutnet(h, hside, ht0),
+         lambda: fm_refine_cutnet_reference(h, hside, ht0), perm),
+        ("hcm", lambda: heavy_connectivity_matching(h, rng=as_rng(0)),
+         lambda: heavy_connectivity_matching_reference(h, rng=as_rng(0)),
+         perm),
+        ("hgrow", lambda: greedy_grow_hbisection(h, ht0, 0),
+         lambda: greedy_grow_hbisection_reference(h, ht0, 0), perm),
+    )
+
+
+def test_fastpath_speedup_gate(matrix, emit, emit_json):
+    rows = []
+    per_kernel = {}
+    for name, fast_fn, ref_fn, same in _kernel_pairs(matrix):
+        fast_fn()  # warm memoised adjacency/bitmap caches once
+        fast_s, fast_out = _timed_best(fast_fn)
+        ref_s, ref_out = _timed_best(ref_fn)
+        # hard gate: the fast path must be *bit-identical*, always
+        assert same(fast_out, ref_out), \
+            f"{name}: fast path output diverges from its reference"
+        per_kernel[name] = ref_s / fast_s
+        rows.append([name, f"{ref_s * 1e3:.2f}", f"{fast_s * 1e3:.2f}",
+                     f"{ref_s / fast_s:.2f}x"])
+    geomean = float(np.exp(np.mean(np.log(list(per_kernel.values())))))
+    rows.append(["geomean", "", "", f"{geomean:.2f}x"])
+    emit("bench_reorder_fastpath",
+         "Vectorised reordering kernels vs scalar references "
+         "(bit-identical outputs)\n"
+         + format_table(["kernel", "reference ms", "fast ms", "speedup"],
+                        rows))
+    emit_json("bench_reorder_fastpath", {
+        "matrix": "fem_mesh_2d(1200, seed=5, scrambled=True)",
+        "trials": TRIALS,
+        "kernels": {name: round(s, 2) for name, s in per_kernel.items()},
+        "geomean_speedup": round(geomean, 2),
+        "floor": GEOMEAN_FLOOR,
+    })
+    # soft wall-clock gate (bit-identity above is the hard one)
+    assert geomean >= GEOMEAN_FLOOR, \
+        f"vectorisation geomean regressed to {geomean:.2f}x"

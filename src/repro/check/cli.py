@@ -5,7 +5,8 @@ Modes
 * default          run every suite on the seeded check corpus
 * ``--quick``      subsample to small matrices (CI tier, a few seconds)
 * ``--suites``     comma-separated subset (features, kernels,
-                   permutations, model, artifacts, serving)
+                   permutations, reorder-fastpath, model, artifacts,
+                   serving)
 * ``--mutation-smoke``  inject the seeded faults of
   :mod:`repro.check.mutation` and assert each one is caught — a test
   of the oracle layer itself
@@ -31,8 +32,8 @@ log = get_logger("check")
 #: must stay CI-cheap)
 QUICK_MAX_ROWS = 256
 
-SUITES = ("features", "kernels", "permutations", "model", "artifacts",
-          "serving")
+SUITES = ("features", "kernels", "permutations", "reorder-fastpath",
+          "model", "artifacts", "serving")
 
 
 def _run_suite(name: str, matrices, seed: int) -> CheckReport:
@@ -45,6 +46,9 @@ def _run_suite(name: str, matrices, seed: int) -> CheckReport:
     if name == "permutations":
         from .permutations import check_permutations
         return check_permutations(matrices, seed=seed)
+    if name == "reorder-fastpath":
+        from .fastpath import check_fastpath
+        return check_fastpath(matrices)
     if name == "model":
         from .model import check_model
         return check_model(matrices)

@@ -1,0 +1,116 @@
+"""Fast-path ⇄ reference equivalence oracle (``reorder-fastpath``).
+
+Every reordering hot path was rewritten on bulk numpy/list primitives
+(PR 7) with the promise of **permutation-exact** agreement with the
+scalar implementations it replaced.  This suite holds the promise to
+account: for each square corpus matrix and each vectorised ordering it
+recomputes the permutation through the always-scalar ``*_reference``
+entry point and asserts bit-identity — not similarity, not equal
+quality metrics: ``np.array_equal`` on the permutation itself.
+
+Two invariants:
+
+* ``fastpath-matches-reference`` — the dispatching entry point (fast
+  path on) and its ``*_reference`` twin return identical permutations;
+* ``fastpath-deterministic`` — the fast path is a pure function of its
+  inputs (two computations agree), so the equivalence above cannot
+  rot into a flaky coin-flip.
+
+The seeded mutation faults (``repro check --mutation-smoke``) patch
+off-by-one BFS levels, a stale approximate-degree discount and a
+dropped FM gain update into the fast paths and assert this suite
+catches each one — see :mod:`repro.check.mutation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.trace import span
+from .findings import CheckReport
+
+SUITE = "reorder-fastpath"
+
+#: matrices above this row count are skipped (the scalar references
+#: are the slow side; the oracle must stay CI-cheap)
+MAX_ROWS = 1500
+
+#: part count for GP/HP during the check (small keeps the multilevel
+#: pipelines fast while still exercising coarsen/refine/uncoarsen)
+CHECK_NPARTS = 4
+
+
+def _pairs():
+    """(ordering name, fast fn, reference fn) triples, resolved lazily
+    so mutation patches on the underlying modules are honoured."""
+    from ..reorder.amd import amd_ordering, amd_ordering_reference
+    from ..reorder.gp import gp_ordering, gp_ordering_reference
+    from ..reorder.gray import gray_ordering, gray_ordering_reference
+    from ..reorder.hp import hp_ordering, hp_ordering_reference
+    from ..reorder.nd import nd_ordering, nd_ordering_reference
+    from ..reorder.rcm import rcm_ordering, rcm_ordering_reference
+
+    return (
+        ("RCM", lambda a: rcm_ordering(a),
+         lambda a: rcm_ordering_reference(a)),
+        ("AMD", lambda a: amd_ordering(a),
+         lambda a: amd_ordering_reference(a)),
+        ("Gray", lambda a: gray_ordering(a),
+         lambda a: gray_ordering_reference(a)),
+        ("ND", lambda a: nd_ordering(a, seed=0),
+         lambda a: nd_ordering_reference(a, seed=0)),
+        ("GP", lambda a: gp_ordering(a, nparts=CHECK_NPARTS, seed=0),
+         lambda a: gp_ordering_reference(a, nparts=CHECK_NPARTS, seed=0)),
+        ("HP", lambda a: hp_ordering(a, nparts=CHECK_NPARTS, seed=0),
+         lambda a: hp_ordering_reference(a, nparts=CHECK_NPARTS, seed=0)),
+    )
+
+
+def _first_divergence(fast: np.ndarray, ref: np.ndarray) -> str:
+    if fast.size != ref.size:
+        return f"sizes differ: fast {fast.size} vs reference {ref.size}"
+    where = np.flatnonzero(fast != ref)
+    if where.size == 0:  # detail strings are built eagerly on success
+        return "identical"
+    return (f"{where.size}/{ref.size} positions differ, first at "
+            f"index {int(where[0])}: fast {int(fast[where[0]])} vs "
+            f"reference {int(ref[where[0]])}")
+
+
+def check_fastpath(matrices, orderings=None) -> CheckReport:
+    """Assert fast ≡ reference permutations over ``matrices``.
+
+    ``matrices`` is the usual ``[(name, CSRMatrix), ...]`` list; only
+    square matrices within :data:`MAX_ROWS` participate (reorderings
+    are defined on square matrices).  ``orderings`` restricts the
+    checked set by name.
+    """
+    report = CheckReport(suites=[SUITE])
+    with span("check.fastpath"):
+        for mat_name, a in matrices:
+            if not a.is_square or a.nrows > MAX_ROWS:
+                continue
+            for name, fast_fn, ref_fn in _pairs():
+                if orderings is not None and name not in orderings:
+                    continue
+                subject = f"matrix={mat_name} ordering={name}"
+                try:
+                    fast = fast_fn(a).perm
+                    again = fast_fn(a).perm
+                    ref = ref_fn(a).perm
+                except Exception as exc:  # noqa: BLE001 - report
+                    report.case()
+                    report.fail(SUITE, "ordering-crash", subject,
+                                f"{type(exc).__name__}: {exc}")
+                    continue
+                report.check(
+                    bool(np.array_equal(fast, again)),
+                    SUITE, "fastpath-deterministic", subject,
+                    "two fast-path computations disagree: "
+                    + _first_divergence(fast, again))
+                report.check(
+                    bool(np.array_equal(fast, ref)),
+                    SUITE, "fastpath-matches-reference", subject,
+                    "fast path diverges from the scalar reference: "
+                    + _first_divergence(fast, ref))
+    return report

@@ -94,6 +94,13 @@ def _caches_target(seed: int) -> CheckReport:
     return report
 
 
+def _fastpath_target(seed: int) -> CheckReport:
+    from .fastpath import check_fastpath
+
+    mats = [m for m in check_corpus(seed)[:3] if m[1].is_square]
+    return check_fastpath(mats)
+
+
 # ----------------------------------------------------------------------
 # the faults
 # ----------------------------------------------------------------------
@@ -106,7 +113,7 @@ class Fault:
     expect_invariant: str
     target: object                 # seed -> CheckReport
     inject: object                 # () -> contextmanager
-    expect_detail: str = ""        # optional substring of the detail
+    expect_detail: str = ""        # optional substring of subject+detail
 
 
 def _fault_bandwidth_off_by_one():
@@ -272,6 +279,42 @@ def _fault_hit_rate_unguarded():
     return _patched(cachestats, "cache_stats", unguarded)
 
 
+def _fault_bfs_level_off_by_one():
+    from ..graph import bfs as bfs_mod
+
+    orig = bfs_mod.bfs_levels_fast
+
+    def merged(g, start):
+        levels = orig(g, start).copy()
+        top = levels.max(initial=-1)
+        if top > 0:
+            # the classic frontier off-by-one: the last BFS level is
+            # folded into the one before it, so RCM's level structure
+            # (and with it the Cuthill-McKee visit order) is wrong
+            levels[levels == top] = top - 1
+        return levels
+
+    return _patched(bfs_mod, "bfs_levels_fast", merged)
+
+
+def _fault_amd_stale_degree():
+    from ..reorder import amd as amd_mod
+
+    # the fast path's approximate degree stops discounting the mass of
+    # just-eliminated supervariables — a stale degree that steers pivot
+    # selection away from the reference's elimination order
+    return _patched(amd_mod, "AMD_MASS_DISCOUNT", 0)
+
+
+def _fault_fm_dropped_gain_update():
+    from ..partition import fm as fm_mod
+
+    # moving a vertex no longer updates its neighbours' gains (step 0
+    # instead of 2x edge weight): the classic dropped-gain-update FM
+    # bug, visible as a diverged GP/ND permutation
+    return _patched(fm_mod, "NEIGHBOR_GAIN_STEP", 0)
+
+
 FAULTS = (
     Fault("bandwidth-off-by-one",
           "bandwidth() reports max|i-j| + 1",
@@ -316,6 +359,21 @@ FAULTS = (
           "OrderingCache serves an identity permutation on cache hits",
           "cache-serves-fresh-result", _caches_target,
           _fault_stale_cache_entry),
+    Fault("bfs-level-off-by-one",
+          "the vectorised BFS folds the last frontier level into its "
+          "predecessor (RCM level-boundary off-by-one)",
+          "fastpath-matches-reference", _fastpath_target,
+          _fault_bfs_level_off_by_one, expect_detail="ordering=RCM"),
+    Fault("amd-stale-degree",
+          "the fast AMD path stops discounting just-eliminated mass "
+          "from the approximate degree (stale degree)",
+          "fastpath-matches-reference", _fastpath_target,
+          _fault_amd_stale_degree, expect_detail="ordering=AMD"),
+    Fault("fm-dropped-gain-update",
+          "fast FM refinement no longer updates neighbour gains after "
+          "a move",
+          "fastpath-matches-reference", _fastpath_target,
+          _fault_fm_dropped_gain_update, expect_detail="ordering=GP"),
     Fault("serve-drops-queued-request",
           "the serving micro-batcher silently drops the second queued "
           "request (its future never resolves)",
@@ -376,8 +434,9 @@ class MutationReport:
 
 
 def _matches(finding, fault: Fault) -> bool:
+    haystack = f"{finding.subject}: {finding.detail}"
     return (finding.invariant == fault.expect_invariant
-            and (fault.expect_detail in finding.detail
+            and (fault.expect_detail in haystack
                  if fault.expect_detail else True))
 
 

@@ -37,3 +37,31 @@ def pseudo_peripheral_vertex(g: Graph, start: int, max_iter: int = 10) -> int:
             return candidate if cand_ecc == ecc else root
         root, level, ecc = candidate, cand_level, cand_ecc
     return root
+
+
+def pseudo_peripheral_with_levels(g: Graph, start: int,
+                                  max_iter: int = 10):
+    """George–Liu returning ``(vertex, level array of that vertex)``.
+
+    Picks the same vertex as :func:`pseudo_peripheral_vertex` (levels
+    are a unique function of the root, so re-rooting decisions agree),
+    and hands back the final level structure so callers like RCM skip
+    one redundant BFS per component.
+    """
+    deg = g.degrees()
+    root = int(start)
+    level = bfs_levels(g, root)
+    ecc = int(level.max(initial=0))
+    for _ in range(max_iter):
+        last = np.flatnonzero(level == ecc)
+        if last.size == 0:  # isolated vertex
+            return root, level
+        candidate = int(last[np.argmin(deg[last])])
+        cand_level = bfs_levels(g, candidate)
+        cand_ecc = int(cand_level.max(initial=0))
+        if cand_ecc <= ecc:
+            if cand_ecc == ecc:
+                return candidate, cand_level
+            return root, level
+        root, level, ecc = candidate, cand_level, cand_ecc
+    return root, level

@@ -233,6 +233,7 @@ def _cmd_sweep(args) -> int:
         cache=OrderingCache(path=args.cache),
         seed=args.seed, jobs=args.jobs, journal_path=args.journal,
         resume=args.resume, timeout=args.timeout, retries=args.retries,
+        shared_memory={"auto": None, "on": True, "off": False}[args.shm],
         trace=bool(args.trace) or None,
         manifest_path=args.manifest or None,
         progress=_progress_printer() if args.progress else None)
@@ -384,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated kernels (default: 1d,2d)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = run inline)")
+    p.add_argument("--shm", default="auto", choices=("auto", "on", "off"),
+                   help="matrix transport for --jobs>1: shared-memory "
+                        "segments (zero-copy; 'off' forces the pickle "
+                        "fallback)")
     p.add_argument("--journal", default=None,
                    help="append-only JSONL checkpoint file")
     p.add_argument("--resume", action="store_true",

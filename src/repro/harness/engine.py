@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import signal
 import threading
 import time
@@ -60,7 +61,7 @@ from concurrent.futures import as_completed
 from concurrent.futures.process import (BrokenProcessPool,
                                         ProcessPoolExecutor)
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from ..errors import HarnessError
 from ..machine.bench import MeasurementRecord, simulate_measurement
@@ -70,6 +71,7 @@ from ..obs import cachestats
 from ..obs import manifest as _manifest
 from ..obs.metrics import REGISTRY, MetricsRegistry
 from ..obs.trace import TRACER, span
+from . import shm as _shm
 
 JOURNAL_VERSION = 1
 
@@ -260,8 +262,8 @@ class SweepMetrics:
     wall_seconds: float = 0.0
     run_id: str | None = None
     stages: dict = field(default_factory=lambda: {
-        "generate": 0.0, "reorder": 0.0, "reuse_stats": 0.0,
-        "model_eval": 0.0})
+        "generate": 0.0, "serialize": 0.0, "reorder": 0.0,
+        "reuse_stats": 0.0, "model_eval": 0.0})
     cache: dict = field(default_factory=dict)
     model_stats: dict = field(default_factory=lambda: {
         "reuse_builds": 0, "reuse_hits": 0,
@@ -287,10 +289,24 @@ class SweepMetrics:
 # ----------------------------------------------------------------------
 @dataclass
 class _TaskSpec:
-    """One unit of pool work: every pending cell of one matrix."""
+    """One unit of pool work: every pending cell of one matrix.
 
-    entry: object                # CorpusEntry (matrix + metadata)
+    ``transport`` names how the matrix travels to the worker:
+
+    * ``"inline"`` — ``entry.matrix`` is the matrix (serial runs);
+    * ``"shm"`` — ``entry.matrix`` is ``None`` and ``matrix_ref`` is a
+      :class:`~repro.harness.shm.ShmMatrixHandle` the worker attaches
+      to (zero-copy);
+    * ``"pickle"`` — ``entry.matrix`` is ``None`` and ``matrix_ref``
+      holds explicitly pickled bytes (the fallback when shared memory
+      is unavailable or disabled; keeping the pickling explicit lets
+      both sides *time* it — see the ``serialize`` stage).
+    """
+
+    entry: object                # CorpusEntry (metadata; see transport)
     pending: frozenset           # cells still to compute
+    transport: str = "inline"
+    matrix_ref: object = None    # ShmMatrixHandle | bytes | None
 
 
 @dataclass
@@ -327,12 +343,39 @@ _WORKER_CONFIG: _EngineConfig | None = None
 def _pool_init(config: _EngineConfig) -> None:
     global _WORKER_CONFIG
     _WORKER_CONFIG = config
+    # fork-started workers inherit the engine's buffered events (the
+    # pre-fork serialize spans from _pack_task); drop them so the first
+    # drain ships only spans this worker recorded itself.
+    TRACER.clear()
     if config.trace and not TRACER.enabled:
         TRACER.enable()
 
 
 def _pool_run(task: _TaskSpec) -> _TaskOutcome:
     return _run_matrix_task(task, _WORKER_CONFIG)
+
+
+def _resolve_task_matrix(task: _TaskSpec, timings: dict):
+    """Materialise the task's matrix on the worker side.
+
+    Shared-memory attach (zero-copy, memoised per worker process) or
+    explicit unpickle, timed into the ``serialize`` stage; inline
+    transport is free.
+    """
+    if task.transport == "inline":
+        return task.entry.matrix
+    t0 = time.perf_counter()
+    with span("serialize", matrix=task.entry.name,
+              transport=task.transport, side="worker"):
+        if task.transport == "shm":
+            a = _shm.attach_matrix(task.matrix_ref)
+        elif task.transport == "pickle":
+            a = pickle.loads(task.matrix_ref)
+        else:
+            raise HarnessError(
+                f"unknown task transport {task.transport!r}")
+    timings["serialize"] += time.perf_counter() - t0
+    return a
 
 
 def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
@@ -358,10 +401,11 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
     registry_before = REGISTRY.snapshot()
     factory = config.model_factory or PerfModel
     entry = task.entry
-    a = entry.matrix
     records: list = []
     failures: list = []
-    timings = {"reorder": 0.0, "reuse_stats": 0.0, "model_eval": 0.0}
+    timings = {"serialize": 0.0, "reorder": 0.0, "reuse_stats": 0.0,
+               "model_eval": 0.0}
+    a = _resolve_task_matrix(task, timings)
     retried = 0
     models = [(arch, factory(arch)) for arch in config.architectures]
 
@@ -511,6 +555,15 @@ class SweepEngine:
     manifest_path:
         Where to write the :class:`~repro.obs.manifest.RunManifest`.
         ``None`` disables it.
+    shared_memory:
+        Matrix transport for pool runs.  ``None`` (default) uses
+        shared-memory segments whenever a pool is actually used,
+        silently falling back to explicit pickling per matrix if a
+        segment cannot be created; ``True`` is the same but states the
+        intent; ``False`` forces the pickle transport (useful to
+        exercise the fallback, or on hosts without ``/dev/shm``).
+        Serial (inline) runs ignore this — the matrix never leaves the
+        process.
     """
 
     def __init__(self, corpus, architectures, orderings,
@@ -519,7 +572,8 @@ class SweepEngine:
                  journal_path: str | None = None, resume: bool = False,
                  timeout: float | None = None, retries: int = 0,
                  progress=None, trace: bool | None = None,
-                 manifest_path: str | None = None) -> None:
+                 manifest_path: str | None = None,
+                 shared_memory: bool | None = None) -> None:
         if jobs < 1:
             raise HarnessError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
@@ -539,9 +593,13 @@ class SweepEngine:
         self.progress = progress
         self.trace = trace
         self.manifest_path = manifest_path
+        self.shared_memory = shared_memory
         self.metrics = SweepMetrics(jobs=jobs)
         #: run-local merge target of every worker's registry delta
         self.registry = MetricsRegistry()
+        #: shared-memory segments this engine created (owned: unlinked
+        #: in ``run()``'s finally, whatever happened to the workers)
+        self._segments: list = []
 
     # -- cell enumeration ---------------------------------------------
     def signature(self) -> dict:
@@ -622,6 +680,9 @@ class SweepEngine:
             by_matrix.setdefault(cell[0], set()).add(cell)
         tasks = [_TaskSpec(entry=e, pending=frozenset(by_matrix[e.name]))
                  for e in self.corpus if e.name in by_matrix]
+        use_pool = self.jobs > 1 and len(tasks) > 1
+        if use_pool:
+            tasks = [self._pack_task(t) for t in tasks]
 
         config = _EngineConfig(
             architectures=self.architectures, orderings=self.orderings,
@@ -662,7 +723,7 @@ class SweepEngine:
                               time.perf_counter() - t_start)
 
         try:
-            if self.jobs == 1 or len(tasks) <= 1:
+            if not use_pool:
                 cache = self.cache or OrderingCache()
                 self.cache = cache
                 for task in tasks:
@@ -673,6 +734,7 @@ class SweepEngine:
         finally:
             if journal is not None:
                 journal.close()
+            self._release_segments()
 
         wall = time.perf_counter() - t_start
         self.metrics.wall_seconds = wall
@@ -695,6 +757,40 @@ class SweepEngine:
             if cell in completed:
                 result.add(completed[cell])
         return result
+
+    # -- matrix transport ---------------------------------------------
+    def _pack_task(self, task: _TaskSpec) -> _TaskSpec:
+        """Strip the matrix out of a pool-bound task.
+
+        Exports it to a shared-memory segment (engine-owned; workers
+        attach zero-copy) or, when shared memory is disabled or the
+        export fails, pickles it explicitly.  Either way the time
+        lands in the ``serialize`` stage and the entry travels with
+        ``matrix=None`` — the matrix payload never rides the pool's
+        pickle pipe twice.
+        """
+        a = task.entry.matrix
+        transport, ref = "pickle", None
+        t0 = time.perf_counter()
+        with span("serialize", matrix=task.entry.name, side="engine"):
+            if self.shared_memory is None or self.shared_memory:
+                try:
+                    handle, seg = _shm.export_matrix(a)
+                except Exception:  # noqa: BLE001 - no /dev/shm etc.
+                    pass
+                else:
+                    self._segments.append(seg)
+                    transport, ref = "shm", handle
+            if ref is None:
+                ref = pickle.dumps(a, protocol=pickle.HIGHEST_PROTOCOL)
+        self.metrics.stages["serialize"] += time.perf_counter() - t0
+        return replace(task, entry=replace(task.entry, matrix=None),
+                       transport=transport, matrix_ref=ref)
+
+    def _release_segments(self) -> None:
+        for seg in self._segments:
+            _shm.unlink_segment(seg)
+        self._segments = []
 
     def _run_pool(self, tasks, config, completed, failures, consume,
                   journal) -> None:
@@ -778,12 +874,13 @@ class SweepEngine:
                     fail_pending(index, attempts=rounds)
                 return
             # shrink resubmitted tasks by everything consumed so far
+            # (replace() keeps the transport and matrix_ref: a rebuilt
+            # pool's fresh workers re-attach to the same segments)
             for index, task in list(pending.items()):
                 still = frozenset(c for c in task.pending
                                   if c not in completed)
                 if still:
-                    pending[index] = _TaskSpec(entry=task.entry,
-                                               pending=still)
+                    pending[index] = replace(task, pending=still)
                 else:
                     del pending[index]
 

@@ -1,0 +1,207 @@
+"""Zero-copy shared-memory transport for CSR matrices.
+
+The sweep engine fans tasks out over a process pool; without help,
+every task pickles its matrix into the pool's IPC pipe and every
+worker unpickles a private copy.  This module replaces that with one
+POSIX shared-memory segment per matrix:
+
+* the engine calls :func:`export_matrix` once, copying the three CSR
+  arrays into a single segment laid out as
+  ``[rowptr int64 | colidx int64 | values float64]``;
+* the picklable :class:`ShmMatrixHandle` (a name plus three sizes)
+  travels through the pool instead of the arrays;
+* workers call :func:`attach_matrix`, which maps the segment and
+  builds a read-only :class:`~repro.matrix.csr.CSRMatrix` whose arrays
+  are zero-copy views over the shared buffer.
+
+Lifecycle rules keep worker death leak-free:
+
+* **The engine owns every segment.**  It keeps the
+  :class:`~multiprocessing.shared_memory.SharedMemory` objects it
+  created and unlinks them in its ``finally`` block, so even a sweep
+  whose workers were all SIGKILLed leaves nothing in ``/dev/shm``.
+* **Workers never unlink.**  Attachments go through
+  :func:`_attach_untracked`, which keeps the segment out of the
+  worker's :mod:`multiprocessing.resource_tracker` (via
+  ``track=False`` on Python ≥ 3.13, by unregistering on older
+  versions) — otherwise the first worker to exit would unlink a
+  segment its siblings still map.
+* **Workers never close either.**  A mapped segment backs live numpy
+  views; the per-process attachment cache in :data:`_ATTACHED` holds
+  both alive until the worker exits, when the OS drops the mappings.
+  One matrix is attached at most once per worker no matter how many
+  crash-retry rounds resubmit it.
+
+On platforms or filesystems where shared memory is unavailable the
+engine catches the export failure and falls back to shipping pickled
+bytes (see ``SweepEngine``); nothing in this module is imported at
+matrix-construction time, so the fallback path never touches it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..matrix.csr import CSRMatrix
+
+#: every engine-created segment name starts with this, so tests (and
+#: humans) can audit ``/dev/shm`` for leaks with a simple glob
+SEGMENT_PREFIX = "repro_csr_"
+
+_ITEMSIZE = 8  # int64 indices and float64 values
+
+_counter = itertools.count()
+
+#: per-process attachment cache: segment name -> (SharedMemory, matrix)
+_ATTACHED: dict = {}
+
+
+@dataclass(frozen=True)
+class ShmMatrixHandle:
+    """A picklable reference to a CSR matrix living in shared memory."""
+
+    name: str
+    nrows: int
+    ncols: int
+    nnz: int
+
+
+def _layout(nrows: int, nnz: int) -> tuple:
+    """Byte offsets of (rowptr, colidx, values) and the total size."""
+    off_rowptr = 0
+    off_colidx = (nrows + 1) * _ITEMSIZE
+    off_values = off_colidx + nnz * _ITEMSIZE
+    total = off_values + nnz * _ITEMSIZE
+    return off_rowptr, off_colidx, off_values, total
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker custody.
+
+    The engine process that created the segment is responsible for
+    unlinking it; an attaching worker must not let its resource
+    tracker "clean up" (= unlink) the segment at exit while siblings
+    still map it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        # Suppress registration instead of unregistering afterwards:
+        # forked workers share the engine's tracker process, so an
+        # unregister here would also cancel the engine's own (create
+        # time) registration and the final unlink would log KeyErrors.
+        # Workers attach sequentially, so the swap is race-free.
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def export_matrix(a: CSRMatrix) -> tuple:
+    """Copy ``a`` into a fresh shared-memory segment.
+
+    Returns ``(handle, segment)``.  The caller owns ``segment`` and
+    must eventually ``close()`` + ``unlink()`` it (see
+    :func:`unlink_segment`); ``handle`` is what travels to workers.
+    """
+    nrows, nnz = a.nrows, a.nnz
+    off_r, off_c, off_v, total = _layout(nrows, nnz)
+    seg = None
+    for _ in range(8):  # pid reuse can collide with a stale name
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(_counter)}"
+        try:
+            seg = shared_memory.SharedMemory(
+                create=True, size=max(total, 1), name=name)
+            break
+        except FileExistsError:
+            continue
+    if seg is None:  # pragma: no cover - 8 straight collisions
+        raise OSError("could not allocate a shared-memory segment name")
+    np.ndarray(nrows + 1, dtype=np.int64, buffer=seg.buf,
+               offset=off_r)[:] = a.rowptr
+    np.ndarray(nnz, dtype=np.int64, buffer=seg.buf,
+               offset=off_c)[:] = a.colidx
+    np.ndarray(nnz, dtype=np.float64, buffer=seg.buf,
+               offset=off_v)[:] = a.values
+    handle = ShmMatrixHandle(name=seg.name, nrows=nrows, ncols=a.ncols,
+                             nnz=nnz)
+    return handle, seg
+
+
+def attach_matrix(handle: ShmMatrixHandle) -> CSRMatrix:
+    """Map the segment behind ``handle`` into a zero-copy CSRMatrix.
+
+    Attachments are memoised per process and held for the life of the
+    process (the matrix's arrays are views over the mapping — closing
+    it would invalidate them).  The returned arrays are read-only.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    seg = _attach_untracked(handle.name)
+    off_r, off_c, off_v, _total = _layout(handle.nrows, handle.nnz)
+    rowptr = np.ndarray(handle.nrows + 1, dtype=np.int64,
+                        buffer=seg.buf, offset=off_r)
+    colidx = np.ndarray(handle.nnz, dtype=np.int64, buffer=seg.buf,
+                        offset=off_c)
+    values = np.ndarray(handle.nnz, dtype=np.float64, buffer=seg.buf,
+                        offset=off_v)
+    for arr in (rowptr, colidx, values):
+        arr.flags.writeable = False
+    a = CSRMatrix(nrows=handle.nrows, ncols=handle.ncols,
+                  rowptr=rowptr, colidx=colidx, values=values)
+    _ATTACHED[handle.name] = (seg, a)
+    return a
+
+
+def attached_count() -> int:
+    """Number of segments this process currently has mapped."""
+    return len(_ATTACHED)
+
+
+def detach_all() -> None:
+    """Drop and close every cached attachment (test hygiene only).
+
+    Only safe when no live :class:`CSRMatrix` views over the mappings
+    remain; production workers never call this — their mappings die
+    with the process.
+    """
+    while _ATTACHED:
+        _name, (seg, _a) = _ATTACHED.popitem()
+        try:
+            seg.close()
+        except Exception:  # pragma: no cover - buffer still exported
+            pass
+
+
+def unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment the caller created, tolerating the
+    double-unlink that happens when cleanup runs twice."""
+    try:
+        seg.close()
+    except Exception:  # pragma: no cover - already closed
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def leaked_segments() -> list:
+    """Names of engine-created segments still present in ``/dev/shm``.
+
+    Purely diagnostic (used by the lifecycle tests); returns an empty
+    list on platforms without a ``/dev/shm``.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return sorted(n for n in os.listdir(root)
+                  if n.startswith(SEGMENT_PREFIX))

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.hypergraph import Hypergraph
+from ..util.fastpath import fast_enabled
 from ..util.rng import as_rng
 
 
@@ -27,6 +28,55 @@ class HLevel:
 def heavy_connectivity_matching(h: Hypergraph, rng=None,
                                 max_net_size: int = 64) -> np.ndarray:
     """match[v] = partner (or v itself).  O(Σ_v Σ_{e∋v, small} |e|)."""
+    if not fast_enabled():
+        return heavy_connectivity_matching_reference(
+            h, rng=rng, max_net_size=max_net_size)
+    rng = as_rng(rng)
+    n = h.nvertices
+    order = rng.permutation(n).tolist()
+    match = [-1] * n
+    net_ptr = h.net_ptr.tolist()
+    net_pins = h.net_pins.tolist()
+    vtx_ptr = h.vtx_ptr.tolist()
+    vtx_nets = h.vtx_nets.tolist()
+    nw_l = h.nwgt.tolist()
+    score = [0] * n  # scratch: shared weight with v
+    for v in order:
+        if match[v] != -1:
+            continue
+        touched = []
+        for ei in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[ei]
+            lo, hi = net_ptr[e], net_ptr[e + 1]
+            if hi - lo > max_net_size:
+                continue
+            w = nw_l[e]
+            for pi in range(lo, hi):
+                u = net_pins[pi]
+                if u != v and match[u] == -1:
+                    if score[u] == 0:
+                        touched.append(u)
+                    score[u] += w
+        if touched:
+            # first maximum wins, matching the reference's max(key=...)
+            best = touched[0]
+            best_s = score[best]
+            for u in touched:
+                s = score[u]
+                if s > best_s:
+                    best_s = s
+                    best = u
+                score[u] = 0
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    return np.array(match, dtype=np.int64)
+
+
+def heavy_connectivity_matching_reference(
+        h: Hypergraph, rng=None, max_net_size: int = 64) -> np.ndarray:
+    """Numpy-scalar reference HCM (pre-fast-path implementation)."""
     rng = as_rng(rng)
     n = h.nvertices
     match = np.full(n, -1, dtype=np.int64)

@@ -8,6 +8,15 @@ Gain of moving vertex v across the bisection, under the cut-net metric:
 
 Per-net pin counts on side 0/1 are maintained incrementally, so each
 move costs O(Σ_{e∋v} 1) plus gain updates for pins of affected nets.
+
+The fast path runs the move loop on plain Python lists (the reference
+spends most of its runtime boxing numpy scalars inside the per-net
+threshold updates) with the identical heap discipline: all heap tuples
+are distinct, so the pop sequence is a pure function of the pushed
+multiset and the seed order is free to differ from the reference's
+set-iteration order.  :func:`fm_refine_cutnet` dispatches on
+:func:`repro.util.fastpath.fast_enabled`;
+:func:`fm_refine_cutnet_reference` is the scalar original.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ import heapq
 import numpy as np
 
 from ..graph.hypergraph import Hypergraph
+from ..util.fastpath import fast_enabled
 from .metrics import cutnet
 
 
@@ -57,6 +67,154 @@ def fm_refine_cutnet(h: Hypergraph, side: np.ndarray, target0: int,
     stale gains are corrected at the start of the next pass.  This keeps
     a move's cost bounded on matrices with dense columns.
     """
+    if not fast_enabled():
+        return fm_refine_cutnet_reference(
+            h, side, target0, tol=tol, max_passes=max_passes,
+            max_net_update=max_net_update)
+    side = np.asarray(side, dtype=np.int64).copy()
+    n = h.nvertices
+    if n == 0:
+        return side
+    total = int(h.vwgt.sum())
+    heaviest = int(h.vwgt.max(initial=1))
+    slack = max(int(tol * total), heaviest)
+    lo0, hi0 = target0 - slack, target0 + slack
+
+    net_ptr = h.net_ptr.tolist()
+    net_pins = h.net_pins.tolist()
+    vtx_ptr = h.vtx_ptr.tolist()
+    vtx_nets = h.vtx_nets.tolist()
+    vw_l = h.vwgt.tolist()
+    nw_l = h.nwgt.tolist()
+    heappush, heappop = heapq.heappush, heapq.heappop
+    stall_limit = 100 + n // 8
+    net_of_pin = np.repeat(np.arange(h.nnets, dtype=np.int64),
+                           h.net_sizes())
+    # heap entries are (-gain, stamp, v) packed into one int:
+    # ((-gain)*S + stamp)*n + v.  A vertex u's stamp bumps at most
+    # twice per shared net per moved pin, movers lock, so stamp[u]
+    # <= 2 * (total pin count) < S — the packed ints compare exactly
+    # like the reference's tuples (python floor division keeps the
+    # decode exact for negative keys)
+    S = 2 * h.net_pins.size + 1
+    Sn = S * n
+
+    for _ in range(max_passes):
+        counts = _net_side_counts(h, side)
+        gain = _all_gains(h, side, counts).tolist()
+        w0 = int(h.vwgt[side == 0].sum())
+        c0 = counts[:, 0].tolist()
+        c1 = counts[:, 1].tolist()
+        side_l = side.tolist()
+        locked = bytearray(n)
+        stamp = [0] * n
+        # seed: pins of cut nets (the boundary).  All seed tuples are
+        # distinct (vertex id), so the pop order is independent of the
+        # push order and np.unique replaces the reference's set walk.
+        cut = (counts[:, 0] > 0) & (counts[:, 1] > 0)
+        seeds = np.unique(h.net_pins[cut[net_of_pin]])
+        heap = [-gain[v] * Sn + v for v in seeds.tolist()]
+        heapq.heapify(heap)
+        moves = []
+        cum = 0
+        best_cum = 0
+        best_len = 0
+        # classic FM hill-climbing bound: give up a pass after this many
+        # moves without a new best prefix (full sweeps on graphs where
+        # nearly every net is cut waste quadratic time for no gain)
+        dev_now = max(w0 - hi0, lo0 - w0, 0)
+        while heap:
+            if len(moves) - best_len > stall_limit:
+                break
+            key = heappop(heap)
+            v = key % n
+            if locked[v] or (key // n) % S != stamp[v]:
+                continue
+            vw = vw_l[v]
+            old = side_l[v]
+            new_w0 = w0 - vw if old == 0 else w0 + vw
+            dev_new = max(new_w0 - hi0, lo0 - new_w0, 0)
+            if dev_new > 0 and dev_new >= dev_now:
+                locked[v] = 1
+                continue
+            side_l[v] = 1 - old
+            w0 = new_w0
+            dev_now = dev_new
+            locked[v] = 1
+            cum += gain[v]
+            moves.append(v)
+            # update counts and apply the classical cut-net delta-gain
+            # rules: only nets whose side counts cross the 0/1/2
+            # thresholds change any pin's gain
+            new = 1 - old
+            touched = []
+            for ei in range(vtx_ptr[v], vtx_ptr[v + 1]):
+                e = vtx_nets[ei]
+                if new == 0:
+                    c_new_before = c0[e]
+                    c0[e] = c_new_before + 1
+                    c_old_after = c1[e] - 1
+                    c1[e] = c_old_after
+                else:
+                    c_new_before = c1[e]
+                    c1[e] = c_new_before + 1
+                    c_old_after = c0[e] - 1
+                    c0[e] = c_old_after
+                if c_new_before > 1 and c_old_after > 1:
+                    continue  # no threshold crossed
+                lo_p, hi_p = net_ptr[e], net_ptr[e + 1]
+                if hi_p - lo_p > max_net_update:
+                    continue
+                w = nw_l[e]
+                if c_new_before == 0:
+                    # net was uncut, now cut: old-side pins stop paying
+                    for pi in range(lo_p, hi_p):
+                        u = net_pins[pi]
+                        if u != v and not locked[u] and side_l[u] == old:
+                            gain[u] += w
+                            touched.append(u)
+                if c_new_before == 1:
+                    # formerly sole new-side pin can no longer uncut it
+                    for pi in range(lo_p, hi_p):
+                        u = net_pins[pi]
+                        if u != v and not locked[u] and side_l[u] == new:
+                            gain[u] -= w
+                            touched.append(u)
+                            break
+                if c_old_after == 0:
+                    # net became uncut on the new side: moving any pin cuts
+                    for pi in range(lo_p, hi_p):
+                        u = net_pins[pi]
+                        if u != v and not locked[u]:
+                            gain[u] -= w
+                            touched.append(u)
+                if c_old_after == 1:
+                    # lone old-side pin can now uncut the net
+                    for pi in range(lo_p, hi_p):
+                        u = net_pins[pi]
+                        if u != v and not locked[u] and side_l[u] == old:
+                            gain[u] += w
+                            touched.append(u)
+                            break
+            for u in touched:
+                su = stamp[u] + 1
+                stamp[u] = su
+                heappush(heap, (-gain[u] * S + su) * n + u)
+            if cum > best_cum and lo0 <= w0 <= hi0:
+                best_cum = cum
+                best_len = len(moves)
+        for v in moves[best_len:]:
+            side_l[v] = 1 - side_l[v]
+        side = np.array(side_l, dtype=np.int64)
+        if best_cum <= 0:
+            break
+    return side
+
+
+def fm_refine_cutnet_reference(h: Hypergraph, side: np.ndarray, target0: int,
+                               tol: float = 0.05, max_passes: int = 2,
+                               max_net_update: int = 256) -> np.ndarray:
+    """Scalar reference cut-net FM (pre-vectorisation implementation)."""
     side = np.asarray(side, dtype=np.int64).copy()
     n = h.nvertices
     if n == 0:

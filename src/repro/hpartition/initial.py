@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.hypergraph import Hypergraph
+from ..util.fastpath import fast_enabled
 from ..util.rng import as_rng
 from .metrics import cutnet
 
@@ -18,6 +19,55 @@ from .metrics import cutnet
 def greedy_grow_hbisection(h: Hypergraph, target0: int,
                            seed_vertex: int) -> np.ndarray:
     """Grow side 0 from a seed in net-neighbour BFS order."""
+    if not fast_enabled():
+        return greedy_grow_hbisection_reference(h, target0, seed_vertex)
+    n = h.nvertices
+    side = [1] * n
+    in0 = bytearray(n)
+    in_frontier = bytearray(n)
+    frontier = [int(seed_vertex)]
+    in_frontier[seed_vertex] = 1
+    net_ptr = h.net_ptr.tolist()
+    net_pins = h.net_pins.tolist()
+    vtx_ptr = h.vtx_ptr.tolist()
+    vtx_nets = h.vtx_nets.tolist()
+    vw_l = h.vwgt.tolist()
+    acc = 0
+    head = 0
+    scan = 0  # unvisited vertices are only ever consumed left to right
+    while acc < target0:
+        if head >= len(frontier):
+            # region exhausted (disconnected): jump to the smallest
+            # unvisited vertex (same pick as the reference's flatnonzero)
+            while scan < n and (in0[scan] or in_frontier[scan]):
+                scan += 1
+            if scan == n:
+                break
+            frontier.append(scan)
+            in_frontier[scan] = 1
+        v = frontier[head]
+        head += 1
+        if in0[v]:
+            continue
+        in0[v] = 1
+        side[v] = 0
+        acc += vw_l[v]
+        for ei in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[ei]
+            lo, hi = net_ptr[e], net_ptr[e + 1]
+            if hi - lo > 256:
+                continue
+            for pi in range(lo, hi):
+                u = net_pins[pi]
+                if not in0[u] and not in_frontier[u]:
+                    in_frontier[u] = 1
+                    frontier.append(u)
+    return np.array(side, dtype=np.int64)
+
+
+def greedy_grow_hbisection_reference(h: Hypergraph, target0: int,
+                                     seed_vertex: int) -> np.ndarray:
+    """Scalar reference greedy growth (pre-fast-path implementation)."""
     n = h.nvertices
     side = np.ones(n, dtype=np.int64)
     in0 = np.zeros(n, dtype=bool)

@@ -6,6 +6,15 @@ best prefix that kept the balance feasible.  Passes repeat until a pass
 yields no improvement.  A lazy max-heap stands in for the classical
 gain-bucket structure — same semantics, simpler code, and fast enough
 in Python because only boundary vertices ever enter the heap.
+
+The fast path keeps the identical heap discipline (all heap tuples are
+distinct, so the pop sequence is a pure function of the pushed
+multiset) but runs the move loop on plain Python lists — the reference
+spends most of its time boxing numpy int64 scalars in the per-neighbour
+gain updates.  Pass-level bulk work (initial gains, boundary seeding)
+stays vectorised.  :func:`fm_refine_bisection` dispatches on
+:func:`repro.util.fastpath.fast_enabled`;
+:func:`fm_refine_bisection_reference` is the scalar original.
 """
 
 from __future__ import annotations
@@ -15,7 +24,14 @@ import heapq
 import numpy as np
 
 from ..graph.adjacency import Graph
+from ..util.fastpath import fast_enabled
 from .metrics import edge_cut
+
+#: gain delta applied to an unlocked neighbour when a vertex changes
+#: side: 2×(edge weight) — once for the cut edge (dis)appearing, once
+#: for the internal edge doing the opposite.  The mutation smoke
+#: patches this to 0 to simulate a dropped-gain-update bug.
+NEIGHBOR_GAIN_STEP = 2
 
 
 def _gains(g: Graph, side: np.ndarray) -> np.ndarray:
@@ -43,6 +59,107 @@ def fm_refine_bisection(g: Graph, side: np.ndarray, target0: int,
         (widened by the heaviest vertex so a feasible state always
         exists even with chunky weights).
     """
+    if not fast_enabled():
+        return fm_refine_bisection_reference(
+            g, side, target0, tol=tol, max_passes=max_passes,
+            max_moves_per_pass=max_moves_per_pass)
+    side = np.asarray(side, dtype=np.int64).copy()
+    n = g.nvertices
+    if n == 0:
+        return side
+    total = g.total_vertex_weight()
+    heaviest = int(g.vwgt.max(initial=1))
+    slack = max(int(tol * total), heaviest)
+    lo0, hi0 = target0 - slack, target0 + slack
+    if max_moves_per_pass is None:
+        max_moves_per_pass = n
+
+    xadj_l = g.xadj.tolist()
+    adj_l = g.adjncy.tolist()
+    ew_l = g.ewgt.tolist()
+    vw_l = g.vwgt.tolist()
+    heappush, heappop = heapq.heappush, heapq.heappop
+    stall_limit = 100 + n // 8
+    # heap entries are (-gain, stamp, v) packed into one int:
+    # ((-gain)*S + stamp)*n + v.  A vertex's stamp bumps at most once
+    # per *moved* neighbour and movers lock, so stamp <= degree < S —
+    # the packed ints compare exactly like the reference's tuples
+    # (python floor division keeps the decode exact for negative keys)
+    S = int(g.degrees().max(initial=0)) + 1
+    Sn = S * n
+
+    for _ in range(max_passes):
+        gain = _gains(g, side).tolist()
+        w0 = int(g.vwgt[side == 0].sum())
+        src = np.repeat(np.arange(n, dtype=np.int64), g.degrees())
+        boundary = np.unique(src[side[src] != side[g.adjncy]])
+        side_l = side.tolist()
+        locked = bytearray(n)
+        stamp = [0] * n
+        # all keys are distinct (vertex id tie-break), so heapify of
+        # the seed list pops in the same order as sequential pushes
+        heap = [-gain[v] * Sn + v for v in boundary.tolist()]
+        heapq.heapify(heap)
+        moves = []
+        cum = 0
+        best_cum = 0
+        best_len = 0
+        nmoves = 0
+        dev_now = max(w0 - hi0, lo0 - w0, 0)
+        while heap and nmoves < max_moves_per_pass:
+            if len(moves) - best_len > stall_limit:
+                break
+            key = heappop(heap)
+            v = key % n
+            if locked[v] or (key // n) % S != stamp[v]:
+                continue
+            vw = vw_l[v]
+            old = side_l[v]
+            new_w0 = w0 - vw if old == 0 else w0 + vw
+            # feasibility: don't leave the balance window unless we are
+            # already outside it and the move shrinks the violation
+            dev_new = max(new_w0 - hi0, lo0 - new_w0, 0)
+            if dev_new > 0 and dev_new >= dev_now:
+                locked[v] = 1  # can't move this pass
+                continue
+            # execute move
+            side_l[v] = 1 - old
+            w0 = new_w0
+            dev_now = dev_new
+            locked[v] = 1
+            cum += gain[v]
+            nmoves += 1
+            # update neighbour gains
+            step = NEIGHBOR_GAIN_STEP
+            for idx in range(xadj_l[v], xadj_l[v + 1]):
+                u = adj_l[idx]
+                if locked[u]:
+                    continue
+                if side_l[u] == old:
+                    gain[u] += step * ew_l[idx]
+                else:
+                    gain[u] -= step * ew_l[idx]
+                su = stamp[u] + 1
+                stamp[u] = su
+                heappush(heap, (-gain[u] * S + su) * n + u)
+            moves.append(v)
+            if cum > best_cum and lo0 <= w0 <= hi0:
+                best_cum = cum
+                best_len = len(moves)
+        # roll back past the best prefix
+        for v in moves[best_len:]:
+            side_l[v] = 1 - side_l[v]
+        side = np.array(side_l, dtype=np.int64)
+        if best_cum <= 0:
+            break
+    return side
+
+
+def fm_refine_bisection_reference(
+        g: Graph, side: np.ndarray, target0: int, tol: float = 0.05,
+        max_passes: int = 4,
+        max_moves_per_pass: int | None = None) -> np.ndarray:
+    """Scalar reference FM (pre-vectorisation implementation)."""
     side = np.asarray(side, dtype=np.int64).copy()
     n = g.nvertices
     if n == 0:

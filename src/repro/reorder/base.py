@@ -7,6 +7,7 @@ import numpy as np
 from ..errors import ReorderingError
 from ..graph.adjacency import Graph, graph_from_matrix
 from ..matrix.csr import CSRMatrix
+from ..util.fastpath import fast_enabled
 from ..util.validate import require
 
 
@@ -14,11 +15,21 @@ def ordering_graph(a: CSRMatrix) -> Graph:
     """The undirected graph of A (or A+Aᵀ for unsymmetric patterns).
 
     This is the preprocessing step the paper prescribes for RCM, AMD,
-    ND and GP (§3.3).
+    ND and GP (§3.3).  Under the fast path the (frozen, deterministic)
+    graph is memoised on the matrix — every symmetric ordering of the
+    same matrix shares one symmetrize-and-build pass; the reference
+    path rebuilds it each call, exactly as the scalar implementation
+    always did.
     """
     require(a.is_square, ReorderingError,
             f"symmetric orderings need a square matrix, got {a.shape}")
-    return graph_from_matrix(a, symmetrize=True)
+    if not fast_enabled():
+        return graph_from_matrix(a, symmetrize=True)
+    cached = getattr(a, "_cache_ordering_graph", None)
+    if cached is None:
+        cached = graph_from_matrix(a, symmetrize=True)
+        object.__setattr__(a, "_cache_ordering_graph", cached)
+    return cached
 
 
 def complete_partial_order(order: np.ndarray, n: int) -> np.ndarray:

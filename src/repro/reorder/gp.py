@@ -15,6 +15,7 @@ import numpy as np
 
 from ..matrix.csr import CSRMatrix
 from ..partition.recursive import partition_graph
+from ..util.fastpath import reference_mode
 from ..util.rng import as_rng
 from .base import ordering_graph
 from .perm import OrderingResult
@@ -50,3 +51,12 @@ def gp_ordering(a: CSRMatrix, nparts: int = DEFAULT_PARTS, seed=0,
     perm = perm_from_parts(part)
     return OrderingResult("GP", perm, symmetric=True,
                           seconds=time.perf_counter() - t0)
+
+
+def gp_ordering_reference(a: CSRMatrix, nparts: int = DEFAULT_PARTS, seed=0,
+                          refine: bool = True) -> OrderingResult:
+    """GP ordering with every pipeline stage forced onto the scalar
+    reference implementations (FM refinement, heavy-edge matching,
+    graph construction)."""
+    with reference_mode():
+        return gp_ordering(a, nparts=nparts, seed=seed, refine=refine)

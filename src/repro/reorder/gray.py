@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from ..matrix.csr import CSRMatrix
+from ..util.fastpath import fast_enabled
 from .perm import OrderingResult
 
 DENSE_ROW_THRESHOLD = 20
@@ -33,9 +34,16 @@ def row_bitmaps(a: CSRMatrix, bits: int = BITMAP_BITS) -> np.ndarray:
         return np.zeros(a.nrows, dtype=np.int64)
     section = (a.colidx * bits) // max(a.ncols, 1)
     section = np.minimum(section, bits - 1)
-    rows = a.row_of_entry()
+    words = np.int64(1) << section
     bitmaps = np.zeros(a.nrows, dtype=np.int64)
-    np.bitwise_or.at(bitmaps, rows, np.int64(1) << section)
+    if fast_enabled():
+        # segment-reduce per nonempty row: consecutive nonempty row
+        # starts are exact reduceat boundaries (empty rows stay 0)
+        nonempty = a.row_lengths() > 0
+        starts = a.rowptr[:-1][nonempty]
+        bitmaps[nonempty] = np.bitwise_or.reduceat(words, starts)
+    else:
+        np.bitwise_or.at(bitmaps, a.row_of_entry(), words)
     return bitmaps
 
 
@@ -68,5 +76,49 @@ def gray_ordering(a: CSRMatrix, dense_threshold: int = DENSE_ROW_THRESHOLD,
     ranks = gray_rank(bitmaps[sparse_rows], bits=bits)
     sparse_order = sparse_rows[np.lexsort((sparse_rows, ranks))]
     perm = np.concatenate([dense_order, sparse_order])
+    return OrderingResult("Gray", perm, symmetric=False,
+                          seconds=time.perf_counter() - t0)
+
+
+def gray_ordering_reference(a: CSRMatrix,
+                            dense_threshold: int = DENSE_ROW_THRESHOLD,
+                            bits: int = BITMAP_BITS) -> OrderingResult:
+    """Plain-Python scalar Gray ordering (differential-testing oracle).
+
+    Gray always was numpy-vectorised; this scalar twin follows the PR 5
+    oracle convention so the vectorised path has an independent
+    implementation to be checked against: per-entry bitmap assembly,
+    scalar inverse-Gray rank, and ``sorted`` with explicit key tuples
+    in place of ``lexsort``.
+    """
+    t0 = time.perf_counter()
+    nrows, ncols = a.nrows, a.ncols
+    rowptr = a.rowptr.tolist()
+    colidx = a.colidx.tolist()
+    lengths = [rowptr[i + 1] - rowptr[i] for i in range(nrows)]
+    bitmaps = [0] * nrows
+    if ncols > 0:
+        for i in range(nrows):
+            bm = 0
+            for p in range(rowptr[i], rowptr[i + 1]):
+                section = (colidx[p] * bits) // ncols
+                if section > bits - 1:
+                    section = bits - 1
+                bm |= 1 << section
+            bitmaps[i] = bm
+
+    def rank_of(code: int) -> int:
+        rank = code
+        shift = 1
+        while shift < bits:
+            rank ^= rank >> shift
+            shift <<= 1
+        return rank
+
+    dense = sorted((i for i in range(nrows) if lengths[i] > dense_threshold),
+                   key=lambda i: (-lengths[i], i))
+    sparse = sorted((i for i in range(nrows) if lengths[i] <= dense_threshold),
+                    key=lambda i: (rank_of(bitmaps[i]), i))
+    perm = np.array(dense + sparse, dtype=np.int64)
     return OrderingResult("Gray", perm, symmetric=False,
                           seconds=time.perf_counter() - t0)

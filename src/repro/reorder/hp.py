@@ -17,6 +17,7 @@ from ..graph.hypergraph import column_net_hypergraph
 from ..errors import ReorderingError
 from ..hpartition.recursive import partition_hypergraph
 from ..matrix.csr import CSRMatrix
+from ..util.fastpath import reference_mode
 from ..util.rng import as_rng
 from ..util.validate import require
 from .gp import perm_from_parts
@@ -44,3 +45,12 @@ def hp_ordering(a: CSRMatrix, nparts: int = DEFAULT_PARTS, seed=0,
     perm = perm_from_parts(part)
     return OrderingResult("HP", perm, symmetric=True,
                           seconds=time.perf_counter() - t0)
+
+
+def hp_ordering_reference(a: CSRMatrix, nparts: int = DEFAULT_PARTS, seed=0,
+                          refine: bool = True) -> OrderingResult:
+    """HP ordering with every pipeline stage forced onto the scalar
+    reference implementations (cut-net FM, heavy-connectivity matching,
+    greedy initial growth)."""
+    with reference_mode():
+        return hp_ordering(a, nparts=nparts, seed=seed, refine=refine)

@@ -74,3 +74,13 @@ def nd_ordering(a: CSRMatrix, leaf_size: int = DEFAULT_LEAF_SIZE,
     perm = complete_partial_order(order, g.nvertices)
     return OrderingResult("ND", perm, symmetric=True,
                           seconds=time.perf_counter() - t0)
+
+
+def nd_ordering_reference(a: CSRMatrix, leaf_size: int = DEFAULT_LEAF_SIZE,
+                          seed=0) -> OrderingResult:
+    """ND with every pipeline stage forced onto the scalar reference
+    implementations (BFS, FM refinement, AMD leaf ordering)."""
+    from ..util.fastpath import reference_mode
+
+    with reference_mode():
+        return nd_ordering(a, leaf_size=leaf_size, seed=seed)

@@ -5,6 +5,15 @@ Per connected component: find a pseudo-peripheral start vertex
 level taken in ascending degree, then reverse the concatenated order.
 Components are processed in order of their smallest vertex id, matching
 common library behaviour (SuiteSparse, scipy).
+
+Two paths share this module: :func:`rcm_ordering` dispatches to a
+vectorised fast path (padded-adjacency BFS, one lexsort per component,
+and the George–Liu level structure reused so the final BFS per
+component disappears) or, under :func:`repro.util.fastpath.reference_mode`,
+to :func:`rcm_ordering_reference` — the original scalar-idiom
+implementation kept importable for differential testing.  The two are
+permutation-exact by construction: BFS levels are a unique function of
+the start vertex, so the ``(level, degree, id)`` lexsort keys agree.
 """
 
 from __future__ import annotations
@@ -14,8 +23,9 @@ import time
 import numpy as np
 
 from ..graph.bfs import bfs_levels
-from ..graph.peripheral import pseudo_peripheral_vertex
+from ..graph import peripheral as _peripheral
 from ..matrix.csr import CSRMatrix
+from ..util.fastpath import fast_enabled, reference_mode
 from .base import complete_partial_order, ordering_graph
 from .perm import OrderingResult
 
@@ -30,6 +40,26 @@ def cuthill_mckee_component(g, start: int) -> np.ndarray:
     return reached[np.lexsort((reached, deg[reached], level[reached]))]
 
 
+def _rcm_order_fast(a: CSRMatrix) -> np.ndarray:
+    """CM order over all components, reusing the George–Liu levels."""
+    g = ordering_graph(a)
+    n = g.nvertices
+    deg = g.degrees()
+    visited = np.zeros(n, dtype=bool)
+    pieces = []
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        start, level = _peripheral.pseudo_peripheral_with_levels(g, seed)
+        reached = np.flatnonzero(level >= 0)
+        comp_order = reached[
+            np.lexsort((reached, deg[reached], level[reached]))]
+        visited[comp_order] = True
+        pieces.append(comp_order)
+    order = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    return complete_partial_order(order, n)
+
+
 def rcm_ordering(a: CSRMatrix, reverse: bool = True) -> OrderingResult:
     """Compute the RCM ordering of a sparse matrix.
 
@@ -39,22 +69,38 @@ def rcm_ordering(a: CSRMatrix, reverse: bool = True) -> OrderingResult:
     equivalent for bandwidth, but RCM typically produces less fill in
     factorisations (paper §2.1.1).
     """
+    if not fast_enabled():
+        return rcm_ordering_reference(a, reverse=reverse)
     t0 = time.perf_counter()
-    g = ordering_graph(a)
-    n = g.nvertices
-    visited = np.zeros(n, dtype=bool)
-    pieces = []
-    for seed in range(n):
-        if visited[seed]:
-            continue
-        start = pseudo_peripheral_vertex(g, seed)
-        comp_order = cuthill_mckee_component(g, start)
-        visited[comp_order] = True
-        pieces.append(comp_order)
-    order = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
-    order = complete_partial_order(order, n)
+    order = _rcm_order_fast(a)
     if reverse:
         order = order[::-1].copy()  # the "reverse" in RCM
+    return OrderingResult("RCM" if reverse else "CM", order,
+                          symmetric=True,
+                          seconds=time.perf_counter() - t0)
+
+
+def rcm_ordering_reference(a: CSRMatrix,
+                           reverse: bool = True) -> OrderingResult:
+    """Scalar reference RCM (pre-vectorisation implementation)."""
+    t0 = time.perf_counter()
+    with reference_mode():
+        g = ordering_graph(a)
+        n = g.nvertices
+        visited = np.zeros(n, dtype=bool)
+        pieces = []
+        for seed in range(n):
+            if visited[seed]:
+                continue
+            start = _peripheral.pseudo_peripheral_vertex(g, seed)
+            comp_order = cuthill_mckee_component(g, start)
+            visited[comp_order] = True
+            pieces.append(comp_order)
+        order = (np.concatenate(pieces) if pieces
+                 else np.empty(0, dtype=np.int64))
+        order = complete_partial_order(order, n)
+        if reverse:
+            order = order[::-1].copy()  # the "reverse" in RCM
     return OrderingResult("RCM" if reverse else "CM", order,
                           symmetric=True,
                           seconds=time.perf_counter() - t0)
@@ -63,3 +109,8 @@ def rcm_ordering(a: CSRMatrix, reverse: bool = True) -> OrderingResult:
 def cm_ordering(a: CSRMatrix) -> OrderingResult:
     """The plain (unreversed) Cuthill–McKee ordering."""
     return rcm_ordering(a, reverse=False)
+
+
+def cm_ordering_reference(a: CSRMatrix) -> OrderingResult:
+    """Scalar reference CM (pre-vectorisation implementation)."""
+    return rcm_ordering_reference(a, reverse=False)

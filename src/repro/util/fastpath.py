@@ -1,0 +1,46 @@
+"""Global switch between the vectorised fast paths and the scalar
+reference implementations of the reordering hot loops.
+
+Every dual-implementation function (BFS levels, RCM, AMD, Gray, the FM
+refinements, the matchings) dispatches on :func:`fast_enabled` at call
+time.  The flag defaults to on; :func:`reference_mode` flips it off for
+the duration of a ``with`` block so the pre-vectorisation scalar code
+runs end to end — that is what the ``*_reference`` entry points and the
+golden-equivalence harness use for differential testing.
+
+The switch is deliberately process-global (not thread-local): the
+reference mode exists for tests and benchmarks, which run the two paths
+sequentially in one thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+_ENABLED = True
+
+
+def fast_enabled() -> bool:
+    """True when the vectorised fast paths are active."""
+    return _ENABLED
+
+
+def set_fastpath(on: bool) -> bool:
+    """Set the global fast-path flag; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    return previous
+
+
+@contextlib.contextmanager
+def reference_mode():
+    """Run the enclosed block on the scalar reference implementations.
+
+    Re-entrant: nested uses restore the flag they found.
+    """
+    previous = set_fastpath(False)
+    try:
+        yield
+    finally:
+        set_fastpath(previous)

@@ -1,0 +1,188 @@
+"""Shared-memory CSR transport: correctness and lifecycle.
+
+Covers the PR 7 zero-copy sweep plumbing end to end:
+
+* export → attach round-trip is bit-exact and the attached arrays are
+  read-only zero-copy views (attaching twice returns the same object);
+* a pool sweep over shared memory produces records identical to the
+  serial inline run, and so does the explicit pickle fallback
+  (``shared_memory=False`` — the CI leg for hosts without /dev/shm);
+* an export failure silently falls back to the pickle transport;
+* **lifecycle**: a worker SIGKILLed mid-cell leaks no ``/dev/shm``
+  segment (the engine owns and unlinks every segment in its
+  ``finally``), and an interrupted sweep resumed with shm enabled
+  reattaches and completes with the same records;
+* the ``serialize`` stage shows up in the sweep metrics for pool runs.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.generators import build_corpus
+from repro.harness import shm
+from repro.harness.engine import SweepEngine
+from repro.machine import get_architecture
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="no /dev/shm on this platform")
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_corpus("tiny", seed=0)[:4]
+
+
+@pytest.fixture(scope="module")
+def rome():
+    return [get_architecture("Rome")]
+
+
+def _records(result):
+    return [vars(r) for r in result.records]
+
+
+def _run(corpus, archs, **kw):
+    engine = SweepEngine(corpus, archs, ["RCM", "Gray"],
+                         kernels=("1d",), **kw)
+    return engine, engine.run()
+
+
+# ----------------------------------------------------------------------
+# export / attach round-trip
+# ----------------------------------------------------------------------
+def test_export_attach_roundtrip(tiny_corpus):
+    a = tiny_corpus[0].matrix
+    handle, seg = shm.export_matrix(a)
+    try:
+        b = shm.attach_matrix(handle)
+        assert (b.nrows, b.ncols, b.nnz) == (a.nrows, a.ncols, a.nnz)
+        np.testing.assert_array_equal(b.rowptr, a.rowptr)
+        np.testing.assert_array_equal(b.colidx, a.colidx)
+        np.testing.assert_array_equal(b.values, a.values)
+        for arr in (b.rowptr, b.colidx, b.values):
+            assert not arr.flags.writeable
+        # memoised: the second attach is the same object, no new map
+        assert shm.attach_matrix(handle) is b
+        assert handle.name in [s for s in shm.leaked_segments()]
+    finally:
+        del b
+        shm.detach_all()
+        shm.unlink_segment(seg)
+    assert handle.name not in shm.leaked_segments()
+
+
+def test_export_empty_matrix():
+    from repro.matrix import coo_from_arrays, csr_from_coo
+
+    empty = csr_from_coo(coo_from_arrays(5, 5, [], []))
+    handle, seg = shm.export_matrix(empty)
+    try:
+        b = shm.attach_matrix(handle)
+        assert b.nnz == 0 and b.nrows == 5
+    finally:
+        del b
+        shm.detach_all()
+        shm.unlink_segment(seg)
+
+
+# ----------------------------------------------------------------------
+# transport equivalence
+# ----------------------------------------------------------------------
+def test_shm_records_identical_to_serial(tiny_corpus, rome):
+    _, serial = _run(tiny_corpus, rome)
+    e_shm, pooled = _run(tiny_corpus, rome, jobs=2, shared_memory=True)
+    assert _records(serial) == _records(pooled)
+    assert pooled.failed == []
+    assert e_shm.metrics.stages["serialize"] > 0.0
+    assert shm.leaked_segments() == []
+
+
+def test_pickle_fallback_records_identical_to_serial(tiny_corpus, rome):
+    _, serial = _run(tiny_corpus, rome)
+    e_pkl, pooled = _run(tiny_corpus, rome, jobs=2, shared_memory=False)
+    assert _records(serial) == _records(pooled)
+    assert pooled.failed == []
+    assert e_pkl.metrics.stages["serialize"] > 0.0
+    assert shm.leaked_segments() == []
+
+
+def test_export_failure_falls_back_to_pickle(tiny_corpus, rome,
+                                             monkeypatch):
+    def boom(a):
+        raise OSError("no shared memory today")
+
+    monkeypatch.setattr(shm, "export_matrix", boom)
+    _, serial = _run(tiny_corpus, rome)
+    engine, pooled = _run(tiny_corpus, rome, jobs=2, shared_memory=None)
+    assert _records(serial) == _records(pooled)
+    assert pooled.failed == []
+    assert engine._segments == []
+
+
+def test_serial_run_stays_inline(tiny_corpus, rome):
+    engine, result = _run(tiny_corpus, rome, jobs=1)
+    assert engine.metrics.stages["serialize"] == 0.0
+    assert engine._segments == []
+    assert result.failed == []
+
+
+# ----------------------------------------------------------------------
+# lifecycle: worker death and interrupted resume
+# ----------------------------------------------------------------------
+def _install_killer_ordering():
+    from repro.reorder import registry
+
+    def killer(a, **kw):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    registry.ORDERING_FUNCS["Killer"] = killer
+
+
+@pytest.fixture
+def killer_ordering():
+    from repro.reorder import registry
+
+    _install_killer_ordering()
+    yield "Killer"
+    registry.ORDERING_FUNCS.pop("Killer", None)
+
+
+def test_worker_sigkill_leaks_no_segments(tiny_corpus, rome,
+                                          killer_ordering):
+    engine = SweepEngine(tiny_corpus, rome, ["RCM", killer_ordering],
+                         kernels=("1d",), jobs=2, shared_memory=True,
+                         retries=0)
+    result = engine.run()
+    # the killer cells become structured worker-death failures...
+    assert any(f.stage == "worker" for f in result.failed)
+    # ...and the engine still unlinked every segment it created
+    assert shm.leaked_segments() == []
+    assert engine._segments == []
+
+
+def test_interrupted_resume_reattaches_over_shm(tiny_corpus, rome,
+                                                tmp_path):
+    journal = str(tmp_path / "sweep.jsonl")
+    _, full = _run(tiny_corpus, rome, jobs=2, shared_memory=True,
+                   journal_path=journal)
+    assert shm.leaked_segments() == []
+
+    # simulate a kill partway through: drop the last 6 journaled cells
+    with open(journal) as f:
+        lines = f.readlines()
+    with open(journal, "wt") as f:
+        f.writelines(lines[:-6])
+
+    engine, resumed = _run(tiny_corpus, rome, jobs=2,
+                           shared_memory=True, journal_path=journal,
+                           resume=True)
+    assert _records(resumed) == _records(full)
+    assert resumed.failed == []
+    assert engine.metrics.cells["resumed"] == len(lines) - 1 - 6
+    # the resumed run exported only the matrices it still needed
+    assert engine.metrics.stages["serialize"] > 0.0
+    assert shm.leaked_segments() == []
