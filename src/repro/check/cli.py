@@ -6,7 +6,7 @@ Modes
 * ``--quick``      subsample to small matrices (CI tier, a few seconds)
 * ``--suites``     comma-separated subset (features, kernels,
                    permutations, reorder-fastpath, model, artifacts,
-                   serving)
+                   serving, storage)
 * ``--mutation-smoke``  inject the seeded faults of
   :mod:`repro.check.mutation` and assert each one is caught — a test
   of the oracle layer itself
@@ -33,7 +33,7 @@ log = get_logger("check")
 QUICK_MAX_ROWS = 256
 
 SUITES = ("features", "kernels", "permutations", "reorder-fastpath",
-          "model", "artifacts", "serving")
+          "model", "artifacts", "serving", "storage")
 
 
 def _run_suite(name: str, matrices, seed: int) -> CheckReport:
@@ -58,6 +58,9 @@ def _run_suite(name: str, matrices, seed: int) -> CheckReport:
     if name == "serving":
         from .serving import check_serving
         return check_serving(seed=seed)
+    if name == "storage":
+        from .storage import check_storage
+        return check_storage(seed=seed)
     raise ValueError(f"unknown check suite {name!r}")
 
 

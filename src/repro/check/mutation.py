@@ -101,6 +101,12 @@ def _fastpath_target(seed: int) -> CheckReport:
     return check_fastpath(mats)
 
 
+def _storage_target(seed: int) -> CheckReport:
+    from .storage import check_storage
+
+    return check_storage(seed=seed)
+
+
 # ----------------------------------------------------------------------
 # the faults
 # ----------------------------------------------------------------------
@@ -263,6 +269,41 @@ def _fault_serve_drops_queued_request():
     return _patched(MicroBatcher, "submit", dropping)
 
 
+def _fault_stale_crc_accepted():
+    from ..storage import format as storage_fmt
+
+    # the verifier accepts any checksum: bit rot and torn writes in
+    # array files sail through level='crc' verification
+    return _patched(storage_fmt, "_crc_ok",
+                    lambda expected, actual: True)
+
+
+def _fault_rowptr_colidx_desync():
+    from ..storage.format import MatrixWriter
+
+    orig = MatrixWriter._write_block
+
+    def desynced(self, name, arr):
+        if name == "colidx" and np.asarray(arr).size:
+            arr = np.asarray(arr)[:-1]  # drop the chunk's last column
+        orig(self, name, arr)
+
+    return _patched(MatrixWriter, "_write_block", desynced)
+
+
+def _fault_snapshot_reused_after_seed_change():
+    import json
+
+    from ..storage import snapshot as snap_mod
+
+    def seedless(spec):
+        pruned = {k: v for k, v in spec.items() if k != "seed"}
+        return json.dumps(pruned, sort_keys=True,
+                          separators=(",", ":"))
+
+    return _patched(snap_mod, "_spec_key", seedless)
+
+
 def _fault_hit_rate_unguarded():
     from ..obs import cachestats
 
@@ -383,6 +424,21 @@ FAULTS = (
           "cache_stats divides by hits+misses without a zero guard",
           "cache-hit-rate-finite", _caches_target,
           _fault_hit_rate_unguarded),
+    Fault("stale-crc-accepted",
+          "the snapshot verifier accepts any CRC, so corrupt array "
+          "files pass level='crc' verification",
+          "snapshot-detects-corruption", _storage_target,
+          _fault_stale_crc_accepted),
+    Fault("rowptr-colidx-desync",
+          "the matrix writer drops each chunk's last column index, "
+          "desynchronising colidx from rowptr/values",
+          "snapshot-roundtrip-identical", _storage_target,
+          _fault_rowptr_colidx_desync),
+    Fault("snapshot-reused-after-seed-change",
+          "snapshot reuse ignores the generator seed, serving stale "
+          "matrices after a seed change",
+          "snapshot-seed-changes-address", _storage_target,
+          _fault_snapshot_reused_after_seed_change),
 )
 
 

@@ -61,6 +61,12 @@ class HarnessError(ReproError):
     empty corpus, missing ordering results, ...)."""
 
 
+class StorageError(ReproError):
+    """An on-disk matrix snapshot is unreadable or fails verification
+    (missing/corrupt header, array length mismatch, CRC failure, or a
+    content-address that does not match the snapshot's data)."""
+
+
 class AdvisorError(ReproError):
     """The reordering advisor was asked to predict without training
     data, fed an inconsistent dataset, or given a model artifact whose

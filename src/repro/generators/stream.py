@@ -1,0 +1,165 @@
+"""Streaming generator drivers for the out-of-core corpus tier.
+
+The tiers in :mod:`repro.generators.suite` build each matrix fully in
+RAM, which caps the corpus at ~10⁶ nnz per process.  The drivers here
+produce CSR rows **chunk by chunk** — ``(row_lengths, colidx, values)``
+triples ready for :class:`repro.storage.format.MatrixWriter` — so a
+10⁷–10⁸-nnz matrix is generated and persisted with a working set of
+one chunk.
+
+Streaming requires every row to be computable locally, so instead of
+drawing edges from a shared RNG stream (order-dependent), presence and
+value of an entry ``(i, j)`` come from a counter-based hash of the
+*unordered* pair ``{i, j}`` plus the seed: ``hash(min, max, seed)``.
+Both triangles see the same draw, which keeps the matrices exactly
+symmetric — same trick as counter-based RNGs (Philox et al.), here a
+vectorised splitmix64 finaliser.  Diagonal dominance mirrors
+:func:`repro.generators._common.symmetric_from_edges`: the diagonal is
+always present with value ``1 + row_degree``, so the SPD tag holds.
+
+Chunk boundaries never change the bytes written (chunks are plain
+appends), so any chunk size produces the identical file and the
+identical content address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeneratorError
+from ..util.validate import check_positive, require
+
+__all__ = ["stream_banded", "stream_stencil2d", "StreamRecipe",
+           "xl_recipes", "STREAM_CHUNK_ROWS"]
+
+#: default rows per yielded chunk (a memory knob only — the on-disk
+#: bytes and content address are chunking-invariant).
+STREAM_CHUNK_ROWS = 65536
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_GOLD = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser (uint64 in, uint64 out)."""
+    x = (x ^ (x >> np.uint64(30))) * _M1
+    x = (x ^ (x >> np.uint64(27))) * _M2
+    return x ^ (x >> np.uint64(31))
+
+
+def _hash01(lo: np.ndarray, hi: np.ndarray, seed: int,
+            salt: int) -> np.ndarray:
+    """Deterministic uniform draw in [0, 1) per unordered index pair."""
+    key = np.uint64((int(seed) * 0x9E3779B97F4A7C15
+                     + int(salt) * 0xD1B54A32D192ED03)
+                    & 0xFFFFFFFFFFFFFFFF)
+    x = ((lo.astype(np.uint64) + np.uint64(1)) * _GOLD
+         ^ hi.astype(np.uint64)) ^ key
+    return (_mix(x) >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def stream_banded(n: int, bandwidth: int, density: float = 0.5,
+                  seed: int = 0, chunk_rows: int = STREAM_CHUNK_ROWS):
+    """Yield chunks of a symmetric banded SPD matrix of order ``n``.
+
+    Off-diagonal ``(i, j)`` with ``|i - j| <= bandwidth`` is present
+    with probability ``density`` (hash-decided, symmetric); the
+    diagonal is always present with value ``1 + row_degree``.
+    """
+    check_positive("n", n, GeneratorError)
+    check_positive("bandwidth", bandwidth, GeneratorError)
+    check_positive("chunk_rows", chunk_rows, GeneratorError)
+    require(0.0 <= density <= 1.0, GeneratorError,
+            f"density must be in [0, 1], got {density}")
+    offsets = np.arange(-bandwidth, bandwidth + 1, dtype=np.int64)
+    diag_slot = bandwidth  # offsets[diag_slot] == 0
+    for r0 in range(0, n, chunk_rows):
+        r1 = min(r0 + chunk_rows, n)
+        i = np.arange(r0, r1, dtype=np.int64)[:, None]
+        j = i + offsets[None, :]
+        valid = (j >= 0) & (j < n)
+        lo = np.minimum(i, j)
+        hi = np.maximum(i, j)
+        present = valid & (_hash01(lo, hi, seed, 0) < density)
+        present[:, diag_slot] = True
+        vals = 2.0 * _hash01(lo, hi, seed, 1) - 1.0
+        row_lengths = present.sum(axis=1).astype(np.int64)
+        # diagonal dominance: 1 + number of off-diagonal entries
+        vals[:, diag_slot] = 1.0 + (row_lengths - 1)
+        yield row_lengths, j[present], vals[present]
+
+
+def stream_stencil2d(side: int, chunk_rows: int = STREAM_CHUNK_ROWS):
+    """Yield chunks of the 5-point Laplacian stencil on a
+    ``side x side`` grid (order ``side**2``, SPD, purely structural:
+    diagonal 4, neighbours -1)."""
+    check_positive("side", side, GeneratorError)
+    check_positive("chunk_rows", chunk_rows, GeneratorError)
+    n = side * side
+    offsets = np.array([-side, -1, 0, 1, side], dtype=np.int64)
+    for r0 in range(0, n, chunk_rows):
+        r1 = min(r0 + chunk_rows, n)
+        p = np.arange(r0, r1, dtype=np.int64)[:, None]
+        r, c = p // side, p % side
+        j = p + offsets[None, :]
+        present = np.ones((r1 - r0, 5), dtype=bool)
+        present[:, 0] = (r > 0).ravel()
+        present[:, 1] = (c > 0).ravel()
+        present[:, 3] = (c < side - 1).ravel()
+        present[:, 4] = (r < side - 1).ravel()
+        vals = np.full((r1 - r0, 5), -1.0)
+        vals[:, 2] = 4.0
+        yield (present.sum(axis=1).astype(np.int64),
+               j[present], vals[present])
+
+
+@dataclass(frozen=True)
+class StreamRecipe:
+    """One matrix of the streamed ``xl`` tier.
+
+    ``make(seed, scale)`` returns ``(nrows, ncols, chunks)`` where
+    ``chunks`` is an iterator of ``MatrixWriter.append_chunk`` triples.
+    ``scale`` multiplies the row count, so the same recipes serve the
+    10⁷ CI tier (scale 1) and a 10⁸ local tier (scale ~10).
+    """
+
+    name: str
+    group: str
+    kind: str
+    spd: bool
+    tags: tuple
+    make: object  # Callable[[int, float], tuple]
+
+
+def _banded_recipe(name, n, bandwidth, density):
+    def make(seed: int, scale: float):
+        rows = max(int(n * scale), bandwidth + 1)
+        return rows, rows, stream_banded(rows, bandwidth, density,
+                                         seed=seed)
+    return StreamRecipe(name=name, group="Banded", kind="banded",
+                        spd=True, tags=("xl", "streamed"), make=make)
+
+
+def _stencil_recipe(name, side):
+    def make(seed: int, scale: float):
+        s = max(int(side * np.sqrt(scale)), 2)
+        return s * s, s * s, stream_stencil2d(s)
+    return StreamRecipe(name=name, group="Stencil", kind="stencil2d",
+                        spd=True, tags=("xl", "streamed"), make=make)
+
+
+def xl_recipes() -> tuple:
+    """The streamed corpus tier: ~1.6x10⁷ nnz at ``scale=1``.
+
+    banded_xl   450k rows, full 15-wide band      ~6.8e6 nnz
+    banded_xl2  300k rows, 9-wide band, d=0.9     ~2.5e6 nnz
+    stencil_xl  1160x1160 5-point grid            ~6.7e6 nnz
+    """
+    return (
+        _banded_recipe("banded_xl", 450_000, 7, 1.0),
+        _banded_recipe("banded_xl2", 300_000, 4, 0.9),
+        _stencil_recipe("stencil_xl", 1160),
+    )

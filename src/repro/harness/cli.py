@@ -13,6 +13,7 @@ Commands
 ``loadgen``     replay seeded zipf/bursty traffic at a daemon
 ``report``      render/validate trace + journal + manifest artifacts
 ``check``       differential tests and invariant checks (oracle layer)
+``snapshot``    build/verify a content-addressed corpus snapshot
 
 Output discipline: *data* (tables, rankings, reports) goes to stdout
 via ``print`` so pipelines keep working; *status* (progress
@@ -212,8 +213,17 @@ def _cmd_sweep(args) -> int:
     from .report import render_geomean_table, render_sweep_summary
     from .runner import OrderingCache
 
+    snapshot = None
     with Timer() as t_gen:
-        corpus = build_corpus(args.tier, seed=args.seed)
+        if args.corpus:
+            from ..storage import open_corpus_snapshot
+
+            snapshot = open_corpus_snapshot(args.corpus)
+            corpus = list(snapshot.entries)
+            log.info("attached snapshot %s (%d matrices, signature %s)",
+                     args.corpus, len(corpus), snapshot.signature)
+        else:
+            corpus = build_corpus(args.tier, seed=args.seed)
         if args.limit:
             corpus = corpus[:args.limit]
     archs = [get_architecture(n)
@@ -228,12 +238,18 @@ def _cmd_sweep(args) -> int:
         jsonl = args.trace + "l" if args.trace.endswith(".json") \
             else args.trace + ".jsonl"
         obs_trace.enable(jsonl_path=jsonl)
+    # --shm predates --transport and stays as an alias; an explicit
+    # --transport wins, otherwise on/off map to shm/pickle
+    transport = args.transport
+    if transport == "auto" and args.shm != "auto":
+        transport = {"on": "shm", "off": "pickle"}[args.shm]
     engine = SweepEngine(
         corpus, archs, orderings, kernels=kernels,
         cache=OrderingCache(path=args.cache),
         seed=args.seed, jobs=args.jobs, journal_path=args.journal,
         resume=args.resume, timeout=args.timeout, retries=args.retries,
-        shared_memory={"auto": None, "on": True, "off": False}[args.shm],
+        transport=transport, shard_bytes=args.shard_bytes,
+        snapshot=snapshot,
         trace=bool(args.trace) or None,
         manifest_path=args.manifest or None,
         progress=_progress_printer() if args.progress else None)
@@ -385,10 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated kernels (default: 1d,2d)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = run inline)")
-    p.add_argument("--shm", default="auto", choices=("auto", "on", "off"),
+    p.add_argument("--corpus", default=None,
+                   help="sweep a corpus snapshot directory (see "
+                        "'repro snapshot') instead of generating "
+                        "--tier in RAM")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "memmap", "pickle"),
                    help="matrix transport for --jobs>1: shared-memory "
-                        "segments (zero-copy; 'off' forces the pickle "
-                        "fallback)")
+                        "segments, read-only disk memmaps, or explicit "
+                        "pickling ('auto' picks memmap for snapshot "
+                        "corpora, shm otherwise)")
+    p.add_argument("--shard-bytes", type=int, default=None,
+                   help="bound the matrix bytes in flight per pool "
+                        "round; workers are recycled between shards so "
+                        "peak RSS tracks the largest shard")
+    p.add_argument("--shm", default="auto", choices=("auto", "on", "off"),
+                   help="deprecated alias for --transport "
+                        "(on=shm, off=pickle)")
     p.add_argument("--journal", default=None,
                    help="append-only JSONL checkpoint file")
     p.add_argument("--resume", action="store_true",
@@ -454,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     from ..check.cli import add_check_parser
     add_check_parser(sub)
+
+    from ..storage.cli import add_snapshot_parser
+    add_snapshot_parser(sub)
 
     from ..serve.cli import add_serve_parsers
     add_serve_parsers(sub)

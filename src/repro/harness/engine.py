@@ -262,8 +262,8 @@ class SweepMetrics:
     wall_seconds: float = 0.0
     run_id: str | None = None
     stages: dict = field(default_factory=lambda: {
-        "generate": 0.0, "serialize": 0.0, "reorder": 0.0,
-        "reuse_stats": 0.0, "model_eval": 0.0})
+        "generate": 0.0, "serialize": 0.0, "storage": 0.0,
+        "reorder": 0.0, "reuse_stats": 0.0, "model_eval": 0.0})
     cache: dict = field(default_factory=dict)
     model_stats: dict = field(default_factory=lambda: {
         "reuse_builds": 0, "reuse_hits": 0,
@@ -272,7 +272,8 @@ class SweepMetrics:
         "total": 0, "completed": 0, "resumed": 0, "failed": 0,
         "retried": 0})
     workers: dict = field(default_factory=lambda: {
-        "busy_seconds": {}, "utilization": 0.0, "crash_rounds": 0})
+        "busy_seconds": {}, "utilization": 0.0, "crash_rounds": 0,
+        "shards": 1})
     registry: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -297,6 +298,11 @@ class _TaskSpec:
     * ``"shm"`` — ``entry.matrix`` is ``None`` and ``matrix_ref`` is a
       :class:`~repro.harness.shm.ShmMatrixHandle` the worker attaches
       to (zero-copy);
+    * ``"memmap"`` — ``matrix_ref`` is the path of a stored matrix
+      (:mod:`repro.storage.format`); workers memmap it read-only
+      (zero-copy like shm, but disk-backed: the mapping survives
+      worker death and its pages are reclaimable, so a sharded sweep's
+      RSS stays bounded);
     * ``"pickle"`` — ``entry.matrix`` is ``None`` and ``matrix_ref``
       holds explicitly pickled bytes (the fallback when shared memory
       is unavailable or disabled; keeping the pickling explicit lets
@@ -306,7 +312,7 @@ class _TaskSpec:
     entry: object                # CorpusEntry (metadata; see transport)
     pending: frozenset           # cells still to compute
     transport: str = "inline"
-    matrix_ref: object = None    # ShmMatrixHandle | bytes | None
+    matrix_ref: object = None    # ShmMatrixHandle | bytes | path | None
 
 
 @dataclass
@@ -359,11 +365,21 @@ def _resolve_task_matrix(task: _TaskSpec, timings: dict):
     """Materialise the task's matrix on the worker side.
 
     Shared-memory attach (zero-copy, memoised per worker process) or
-    explicit unpickle, timed into the ``serialize`` stage; inline
-    transport is free.
+    explicit unpickle, timed into the ``serialize`` stage; a memmap
+    attach (also zero-copy and memoised) times into the ``storage``
+    stage; inline transport is free.
     """
     if task.transport == "inline":
         return task.entry.matrix
+    if task.transport == "memmap":
+        from ..storage import format as _storage
+
+        t0 = time.perf_counter()
+        with span("storage", matrix=task.entry.name,
+                  transport="memmap", side="worker"):
+            a = _storage.attach_matrix(task.matrix_ref)
+        timings["storage"] += time.perf_counter() - t0
+        return a
     t0 = time.perf_counter()
     with span("serialize", matrix=task.entry.name,
               transport=task.transport, side="worker"):
@@ -403,8 +419,8 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
     entry = task.entry
     records: list = []
     failures: list = []
-    timings = {"serialize": 0.0, "reorder": 0.0, "reuse_stats": 0.0,
-               "model_eval": 0.0}
+    timings = {"serialize": 0.0, "storage": 0.0, "reorder": 0.0,
+               "reuse_stats": 0.0, "model_eval": 0.0}
     a = _resolve_task_matrix(task, timings)
     retried = 0
     models = [(arch, factory(arch)) for arch in config.architectures]
@@ -509,7 +525,7 @@ def _run_matrix_task(task: _TaskSpec, config: _EngineConfig,
     stats_after = cache.stats
     delta = {k: stats_after.get(k, 0) - stats_before.get(k, 0)
              for k in ("hits", "disk_hits", "misses", "requests",
-                       "evictions", "size_bytes")}
+                       "evictions", "size_bytes", "mapped_bytes")}
     return _TaskOutcome(
         records=records, failures=failures, timings=timings,
         cache_stats=delta,
@@ -556,14 +572,33 @@ class SweepEngine:
         Where to write the :class:`~repro.obs.manifest.RunManifest`.
         ``None`` disables it.
     shared_memory:
-        Matrix transport for pool runs.  ``None`` (default) uses
-        shared-memory segments whenever a pool is actually used,
-        silently falling back to explicit pickling per matrix if a
-        segment cannot be created; ``True`` is the same but states the
-        intent; ``False`` forces the pickle transport (useful to
-        exercise the fallback, or on hosts without ``/dev/shm``).
-        Serial (inline) runs ignore this — the matrix never leaves the
-        process.
+        Legacy transport switch, kept for compatibility: ``True`` maps
+        to ``transport="shm"``, ``False`` to ``transport="pickle"``,
+        ``None`` to ``transport="auto"``.  Ignored when ``transport``
+        is given explicitly.
+    transport:
+        Matrix transport policy for pool runs: ``"shm"`` (shared-memory
+        segments, pickle fallback), ``"memmap"`` (stored matrices
+        attached read-only from disk — snapshot-backed entries map
+        their snapshot directly, in-RAM matrices are spilled to a
+        temporary store first), ``"pickle"`` (explicit bytes), or
+        ``"auto"`` (default: memmap when every corpus entry is
+        snapshot-backed, shm otherwise).  Serial (inline) runs ignore
+        this — the matrix never leaves the process.
+    shard_bytes:
+        Upper bound on the summed matrix bytes in flight per pool
+        round.  When set, tasks are partitioned into consecutive
+        byte-bounded shards, each run on a **fresh** process pool whose
+        workers are torn down before the next shard starts — so peak
+        RSS tracks the largest shard, not the whole corpus.  ``None``
+        (default) runs everything in one shard.
+    snapshot:
+        The :class:`~repro.storage.snapshot.CorpusSnapshot` backing
+        ``corpus``, if any.  Folds the snapshot's content address into
+        the sweep signature (so ``--resume`` only reattaches the
+        *identical* corpus bytes) and into the run manifest (so
+        ``repro report --check`` can cross-check the snapshot
+        directory against the journal's provenance).
     """
 
     def __init__(self, corpus, architectures, orderings,
@@ -573,11 +608,24 @@ class SweepEngine:
                  timeout: float | None = None, retries: int = 0,
                  progress=None, trace: bool | None = None,
                  manifest_path: str | None = None,
-                 shared_memory: bool | None = None) -> None:
+                 shared_memory: bool | None = None,
+                 transport: str | None = None,
+                 shard_bytes: int | None = None,
+                 snapshot=None) -> None:
         if jobs < 1:
             raise HarnessError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise HarnessError(f"retries must be >= 0, got {retries}")
+        if transport is None:
+            transport = {None: "auto", True: "shm",
+                         False: "pickle"}[shared_memory]
+        if transport not in ("auto", "shm", "memmap", "pickle"):
+            raise HarnessError(
+                f"unknown transport {transport!r} "
+                "(expected auto, shm, memmap or pickle)")
+        if shard_bytes is not None and shard_bytes <= 0:
+            raise HarnessError(
+                f"shard_bytes must be positive, got {shard_bytes}")
         self.corpus = list(corpus)
         self.architectures = list(architectures)
         self.orderings = [o for o in orderings if o != "original"]
@@ -593,23 +641,33 @@ class SweepEngine:
         self.progress = progress
         self.trace = trace
         self.manifest_path = manifest_path
-        self.shared_memory = shared_memory
+        self.transport = transport
+        self.shard_bytes = shard_bytes
+        self.snapshot = snapshot
         self.metrics = SweepMetrics(jobs=jobs)
         #: run-local merge target of every worker's registry delta
         self.registry = MetricsRegistry()
         #: shared-memory segments this engine created (owned: unlinked
         #: in ``run()``'s finally, whatever happened to the workers)
         self._segments: list = []
+        #: temporary on-disk store for matrices spilled by the memmap
+        #: transport (never a user snapshot; removed in ``run()``)
+        self._spill_dir: str | None = None
 
     # -- cell enumeration ---------------------------------------------
     def signature(self) -> dict:
-        return {
+        sig = {
             "corpus": [e.name for e in self.corpus],
             "architectures": [a.name for a in self.architectures],
             "orderings": list(self.orderings),
             "kernels": list(self.kernels),
             "seed": self.seed if isinstance(self.seed, int) else None,
         }
+        if self.snapshot is not None:
+            # content address, not path: resume must reattach the same
+            # corpus *bytes*, wherever the snapshot directory lives
+            sig["snapshot"] = self.snapshot.signature
+        return sig
 
     def cells(self) -> list:
         """Canonical cell order — identical to the legacy serial
@@ -658,13 +716,20 @@ class SweepEngine:
 
         manifest = None
         if self.manifest_path:
+            config_doc = {"jobs": self.jobs, "timeout": self.timeout,
+                          "retries": self.retries, "resume": self.resume,
+                          "trace": trace_on,
+                          "journal": self.journal_path,
+                          "kernels": list(self.kernels),
+                          "transport": self.transport,
+                          "shard_bytes": self.shard_bytes}
+            if self.snapshot is not None:
+                config_doc["snapshot"] = {
+                    "path": self.snapshot.path,
+                    "signature": self.snapshot.signature}
             manifest = _manifest.collect(
                 seed=self.seed, signature=self.signature(),
-                config={"jobs": self.jobs, "timeout": self.timeout,
-                        "retries": self.retries, "resume": self.resume,
-                        "trace": trace_on,
-                        "journal": self.journal_path,
-                        "kernels": list(self.kernels)})
+                config=config_doc)
             # written up front so even a crashed run has provenance
             manifest.write(self.manifest_path)
             self.metrics.run_id = manifest.run_id
@@ -681,8 +746,6 @@ class SweepEngine:
         tasks = [_TaskSpec(entry=e, pending=frozenset(by_matrix[e.name]))
                  for e in self.corpus if e.name in by_matrix]
         use_pool = self.jobs > 1 and len(tasks) > 1
-        if use_pool:
-            tasks = [self._pack_task(t) for t in tasks]
 
         config = _EngineConfig(
             architectures=self.architectures, orderings=self.orderings,
@@ -729,12 +792,24 @@ class SweepEngine:
                 for task in tasks:
                     consume(_run_matrix_task(task, config, cache=cache))
             else:
-                self._run_pool(tasks, config, completed, failures,
-                               consume, journal)
+                # one fresh pool per shard: tearing workers down at the
+                # shard boundary returns their RSS (and any shm
+                # segments / spilled matrices) before the next batch of
+                # matrices is put in flight, so peak memory tracks the
+                # largest shard, not the corpus
+                shards = self._shard_tasks(tasks)
+                self.metrics.workers["shards"] = len(shards)
+                for shard in shards:
+                    packed = [self._pack_task(t) for t in shard]
+                    self._run_pool(packed, config, completed, failures,
+                                   consume, journal)
+                    self._release_segments()
+                    self._release_spill()
         finally:
             if journal is not None:
                 journal.close()
             self._release_segments()
+            self._release_spill()
 
         wall = time.perf_counter() - t_start
         self.metrics.wall_seconds = wall
@@ -759,21 +834,99 @@ class SweepEngine:
         return result
 
     # -- matrix transport ---------------------------------------------
+    @staticmethod
+    def _entry_nbytes(entry) -> int:
+        """On-the-wire CSR bytes of one corpus entry (rowptr int64 +
+        colidx int64 + values float64), computable from metadata alone
+        — no array access, so snapshot-backed entries stay unmapped."""
+        return (entry.nrows + 1) * 8 + entry.nnz * 16
+
+    def _shard_tasks(self, tasks: list) -> list:
+        """Partition tasks into consecutive byte-bounded shards.
+
+        Order is preserved (resume and journal replay see the same
+        sequence); every shard gets at least one task, so a single
+        matrix larger than the budget still runs — as one shard by
+        itself, which is the best a matrix-granular scheduler can do.
+        """
+        if self.shard_bytes is None:
+            return [tasks]
+        shards: list = []
+        current: list = []
+        current_bytes = 0
+        for task in tasks:
+            nbytes = self._entry_nbytes(task.entry)
+            if current and current_bytes + nbytes > self.shard_bytes:
+                shards.append(current)
+                current, current_bytes = [], 0
+            current.append(task)
+            current_bytes += nbytes
+        if current:
+            shards.append(current)
+        return shards
+
+    @staticmethod
+    def _strip_entry(entry):
+        """Return ``entry`` without its in-RAM matrix payload.
+
+        Snapshot-backed :class:`~repro.storage.snapshot.StoredEntry`
+        objects carry no matrix field at all (their ``matrix`` is a
+        lazy attach), so they pass through unchanged.
+        """
+        if "matrix" in getattr(entry, "__dataclass_fields__", {}):
+            return replace(entry, matrix=None)
+        return entry
+
+    def _spill_matrix(self, entry) -> str:
+        """Write an in-RAM matrix to the engine's temporary store so
+        the memmap transport can ship a path instead of bytes."""
+        import tempfile
+
+        from ..storage import format as _storage
+
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro_spill_")
+        path = os.path.join(self._spill_dir, entry.name)
+        if not os.path.isdir(path):
+            _storage.write_matrix(path, entry.matrix,
+                                  meta={"name": entry.name,
+                                        "spilled": True})
+        return path
+
     def _pack_task(self, task: _TaskSpec) -> _TaskSpec:
         """Strip the matrix out of a pool-bound task.
 
-        Exports it to a shared-memory segment (engine-owned; workers
-        attach zero-copy) or, when shared memory is disabled or the
-        export fails, pickles it explicitly.  Either way the time
-        lands in the ``serialize`` stage and the entry travels with
-        ``matrix=None`` — the matrix payload never rides the pool's
-        pickle pipe twice.
+        Under the memmap policy the task ships the path of a stored
+        matrix (the entry's own snapshot directory when it has one,
+        else a spill into a temporary store), timed into the
+        ``storage`` stage.  Otherwise the matrix is exported to a
+        shared-memory segment (engine-owned; workers attach zero-copy)
+        or, when shared memory is disabled or either export fails,
+        pickled explicitly — timed into ``serialize``.  Either way the
+        entry travels without its matrix payload, which never rides
+        the pool's pickle pipe twice.
         """
-        a = task.entry.matrix
         transport, ref = "pickle", None
+        policy = self.transport
+        if policy == "auto":
+            policy = ("memmap" if getattr(task.entry, "storage_path",
+                                          None) else "shm")
+        if policy == "memmap":
+            t0 = time.perf_counter()
+            with span("storage", matrix=task.entry.name, side="engine"):
+                try:
+                    path = (getattr(task.entry, "storage_path", None)
+                            or self._spill_matrix(task.entry))
+                except Exception:  # noqa: BLE001 - disk full etc.
+                    path = None
+            self.metrics.stages["storage"] += time.perf_counter() - t0
+            if path is not None:
+                return replace(task, entry=self._strip_entry(task.entry),
+                               transport="memmap", matrix_ref=path)
+        a = task.entry.matrix
         t0 = time.perf_counter()
         with span("serialize", matrix=task.entry.name, side="engine"):
-            if self.shared_memory is None or self.shared_memory:
+            if policy == "shm":
                 try:
                     handle, seg = _shm.export_matrix(a)
                 except Exception:  # noqa: BLE001 - no /dev/shm etc.
@@ -784,13 +937,23 @@ class SweepEngine:
             if ref is None:
                 ref = pickle.dumps(a, protocol=pickle.HIGHEST_PROTOCOL)
         self.metrics.stages["serialize"] += time.perf_counter() - t0
-        return replace(task, entry=replace(task.entry, matrix=None),
+        return replace(task, entry=self._strip_entry(task.entry),
                        transport=transport, matrix_ref=ref)
 
     def _release_segments(self) -> None:
         for seg in self._segments:
             _shm.unlink_segment(seg)
         self._segments = []
+
+    def _release_spill(self) -> None:
+        """Remove the temporary spill store (never a user snapshot —
+        snapshot-backed entries ship their own directories, which this
+        engine does not own)."""
+        if self._spill_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
 
     def _run_pool(self, tasks, config, completed, failures, consume,
                   journal) -> None:
@@ -887,7 +1050,7 @@ class SweepEngine:
     def _merge_cache_stats(self, stats: dict) -> None:
         agg = self.metrics.cache
         for key in ("hits", "disk_hits", "misses", "requests",
-                    "evictions", "size_bytes"):
+                    "evictions", "size_bytes", "mapped_bytes"):
             agg[key] = agg.get(key, 0) + stats.get(key, 0)
         # the zero-request guard lives in the shared helper; hit_rate
         # covers both storage levels, like OrderingCache.stats

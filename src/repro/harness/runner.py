@@ -67,12 +67,25 @@ class OrderingCache:
         memory-only (the distinction the sweep report prints).  The
         zero-access guard lives in
         :func:`repro.obs.cachestats.cache_stats`, once, for every cache.
+
+        A permutation backed by an ``np.memmap`` (a view over a stored
+        snapshot) is disk-backed page cache, not private heap, so its
+        bytes land in ``mapped_bytes`` rather than ``size_bytes`` —
+        counting it as resident would double-bill memory the OS can
+        reclaim at will.
         """
         total = self._hits + self._disk_hits + self._misses
+        resident = 0
+        mapped = 0
+        for r in self._memory.values():
+            m = cachestats.mapped_nbytes(r.perm)
+            mapped += m
+            if not m:
+                resident += r.perm.nbytes
         stats = cachestats.cache_stats(
             hits=self._hits + self._disk_hits, misses=self._misses,
             evictions=0,             # unbounded: nothing is ever dropped
-            size_bytes=sum(r.perm.nbytes for r in self._memory.values()),
+            size_bytes=resident, mapped_bytes=mapped,
             disk_hits=self._disk_hits, requests=total)
         stats["hits"] = self._hits
         return stats

@@ -8,11 +8,14 @@ tests had to know three shapes.
 
 Every cache now exposes **at least** :data:`CACHE_STATS_KEYS`::
 
-    hits        satisfied lookups (any storage level)
-    misses      lookups that had to compute
-    evictions   entries dropped to stay within capacity (0 if unbounded)
-    hit_rate    hits / (hits + misses), 0.0 when idle
-    size_bytes  best-effort bytes resident in the cache
+    hits          satisfied lookups (any storage level)
+    misses        lookups that had to compute
+    evictions     entries dropped to stay within capacity (0 if unbounded)
+    hit_rate      hits / (hits + misses), 0.0 when idle
+    size_bytes    best-effort bytes *resident* in the cache (heap-backed)
+    mapped_bytes  bytes held as memory-mapped views (disk-backed pages
+                  the OS can reclaim; NOT resident heap — see
+                  :mod:`repro.storage`)
 
 Caches may add extra keys (``disk_hits``, ``capacity``, ...) but the
 shared keys always exist with these meanings —
@@ -25,15 +28,16 @@ import sys
 import threading
 
 __all__ = ["CACHE_STATS_KEYS", "CacheStatCounters", "cache_stats",
-           "sizeof_value"]
+           "sizeof_value", "mapped_nbytes"]
 
 #: the keys every cache's ``stats`` mapping must expose.
 CACHE_STATS_KEYS = ("hits", "misses", "evictions", "hit_rate",
-                    "size_bytes")
+                    "size_bytes", "mapped_bytes")
 
 
 def cache_stats(hits: int = 0, misses: int = 0, evictions: int = 0,
-                size_bytes: int = 0, **extra) -> dict:
+                size_bytes: int = 0, mapped_bytes: int = 0,
+                **extra) -> dict:
     """Assemble a stats dict in the shared schema (plus extras)."""
     total = hits + misses
     out = {
@@ -42,9 +46,29 @@ def cache_stats(hits: int = 0, misses: int = 0, evictions: int = 0,
         "evictions": int(evictions),
         "hit_rate": hits / total if total else 0.0,
         "size_bytes": int(size_bytes),
+        "mapped_bytes": int(mapped_bytes),
     }
     out.update(extra)
     return out
+
+
+def mapped_nbytes(value) -> int:
+    """Bytes of ``value`` that are memory-mapped rather than resident.
+
+    An ``np.memmap`` array (or a view whose base chain ends in one) is
+    disk-backed: its pages are reclaimable file cache, not private heap,
+    so counting it in ``size_bytes`` would double-bill memory that the
+    OS can drop at any time.  Returns ``value.nbytes`` for mapped
+    arrays and 0 for everything else.
+    """
+    import numpy as np
+
+    arr = value
+    while isinstance(arr, np.ndarray):
+        if isinstance(arr, np.memmap):
+            return int(value.nbytes)
+        arr = arr.base
+    return 0
 
 
 def sizeof_value(value) -> int:
@@ -123,13 +147,15 @@ class CacheStatCounters:
     def delta(after: dict, before: dict) -> dict:
         """``after - before`` over the countable shared keys."""
         d = {k: after.get(k, 0) - before.get(k, 0)
-             for k in ("hits", "misses", "evictions", "size_bytes")}
+             for k in ("hits", "misses", "evictions", "size_bytes",
+                       "mapped_bytes")}
         return cache_stats(**d)
 
     @staticmethod
     def merge(into: dict, delta: dict, keys=None) -> dict:
         """Accumulate a delta into a running stats dict (in place)."""
-        for k in keys or ("hits", "misses", "evictions", "size_bytes"):
+        for k in keys or ("hits", "misses", "evictions", "size_bytes",
+                          "mapped_bytes"):
             into[k] = into.get(k, 0) + delta.get(k, 0)
         total = into.get("hits", 0) + into.get("misses", 0)
         into["hit_rate"] = into.get("hits", 0) / total if total else 0.0

@@ -312,4 +312,38 @@ def check_artifacts(trace_path: str | None = None,
                 problems.append(f"manifest: {exc}")
             else:
                 problems += RunManifest.validate(data)
+                problems += _check_snapshot_provenance(data)
     return problems
+
+
+def _check_snapshot_provenance(manifest_data: dict) -> list:
+    """Cross-check a manifest's snapshot record against the snapshot
+    directory it points at.
+
+    A sweep run against a corpus snapshot records the snapshot's path
+    and content address in the manifest config.  If the directory has
+    since been rebuilt with different parameters (or edited), its
+    recomputed address no longer matches — aggregating that journal
+    would silently mix results from two different corpora, so the
+    mismatch is a check failure, not a warning.
+    """
+    config = manifest_data.get("config")
+    snap = config.get("snapshot") if isinstance(config, dict) else None
+    if not isinstance(snap, dict):
+        return []
+    path = snap.get("path")
+    recorded = snap.get("signature")
+    if not path or not recorded:
+        return [f"manifest: snapshot record incomplete: {snap}"]
+    from ..errors import StorageError
+    from ..storage import corpus_signature
+
+    try:
+        actual = corpus_signature(path)
+    except StorageError as exc:
+        return [f"manifest: snapshot {path} unreadable: {exc}"]
+    if actual != recorded:
+        return [f"manifest: snapshot {path} has content address "
+                f"{actual} but the journal's run recorded {recorded} "
+                "— the corpus changed since this sweep ran"]
+    return []

@@ -90,7 +90,8 @@ def test_ordering_cache_stats(tiny_corpus):
     e = tiny_corpus[0]
     assert cache.stats == {"hits": 0, "disk_hits": 0, "misses": 0,
                            "requests": 0, "hit_rate": 0.0,
-                           "evictions": 0, "size_bytes": 0}
+                           "evictions": 0, "size_bytes": 0,
+                           "mapped_bytes": 0}
     cache.get(e.matrix, e.name, "RCM")
     cache.get(e.matrix, e.name, "RCM")
     cache.get(e.matrix, e.name, "Gray")

@@ -1,0 +1,194 @@
+"""Matrix transports and RSS-bounded sharding (PR 8 plumbing).
+
+Covers the generalisation of the PR 7 shm switch into a transport
+policy (``auto | shm | memmap | pickle``), the byte-bounded shard
+scheduler, the spill store for in-RAM corpora under the memmap policy,
+and the ``mapped_bytes`` accounting of memmap-backed ordering-cache
+entries (satellite 1).
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import HarnessError
+from repro.generators import build_corpus
+from repro.harness.engine import SweepEngine
+from repro.machine import get_architecture
+from repro.storage import ensure_corpus_snapshot
+from repro.storage import format as fmt
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_corpus("tiny", seed=0, groups=("Banded",))[:3]
+
+
+@pytest.fixture(scope="module")
+def rome():
+    return [get_architecture("Rome")]
+
+
+def _run(corpus, archs, **kw):
+    engine = SweepEngine(corpus, archs, ["RCM", "Gray"],
+                         kernels=("1d",), **kw)
+    result = engine.run()
+    assert not result.failed
+    return engine, sorted(
+        (r.matrix, r.ordering, r.kernel, r.architecture, r.gflops_max,
+         r.gflops_mean, r.seconds) for r in result.records)
+
+
+# ----------------------------------------------------------------------
+# constructor policy
+# ----------------------------------------------------------------------
+def test_transport_validation(tiny_corpus, rome):
+    with pytest.raises(HarnessError, match="unknown transport"):
+        SweepEngine(tiny_corpus, rome, ["RCM"], transport="carrier-pigeon")
+    with pytest.raises(HarnessError, match="shard_bytes"):
+        SweepEngine(tiny_corpus, rome, ["RCM"], shard_bytes=0)
+
+
+def test_legacy_shared_memory_maps_to_transport(tiny_corpus, rome):
+    for legacy, expected in ((None, "auto"), (True, "shm"),
+                             (False, "pickle")):
+        e = SweepEngine(tiny_corpus, rome, ["RCM"], shared_memory=legacy)
+        assert e.transport == expected
+    # explicit transport wins over the legacy switch
+    e = SweepEngine(tiny_corpus, rome, ["RCM"], shared_memory=True,
+                    transport="memmap")
+    assert e.transport == "memmap"
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+def test_shard_tasks_bounds_bytes(tiny_corpus, rome):
+    class T:  # minimal stand-in for _TaskSpec
+        def __init__(self, entry):
+            self.entry = entry
+
+    per = SweepEngine._entry_nbytes(tiny_corpus[0])
+    assert per == (tiny_corpus[0].matrix.nrows + 1) * 8 + \
+        tiny_corpus[0].matrix.nnz * 16
+
+    tasks = [T(e) for e in tiny_corpus * 4]
+    engine = SweepEngine(tiny_corpus, rome, ["RCM"], shard_bytes=1)
+    # budget smaller than any matrix: one task per shard, none dropped
+    shards = engine._shard_tasks(tasks)
+    assert [len(s) for s in shards] == [1] * len(tasks)
+
+    engine = SweepEngine(tiny_corpus, rome, ["RCM"])
+    assert engine._shard_tasks(tasks) == [tasks]  # no budget: one shard
+
+    budget = sum(SweepEngine._entry_nbytes(t.entry) for t in tasks[:3])
+    engine = SweepEngine(tiny_corpus, rome, ["RCM"], shard_bytes=budget)
+    shards = engine._shard_tasks(tasks)
+    assert sum(len(s) for s in shards) == len(tasks)  # order-preserving
+    assert [t.entry.name for s in shards for t in s] == \
+        [t.entry.name for t in tasks]
+    for shard in shards[:-1]:
+        assert sum(SweepEngine._entry_nbytes(t.entry)
+                   for t in shard) <= budget
+
+
+def test_sharded_pool_sweep_matches_serial(tiny_corpus, rome):
+    _, serial = _run(tiny_corpus, rome, seed=0, jobs=1)
+    engine, sharded = _run(tiny_corpus, rome, seed=0, jobs=2,
+                           transport="pickle", shard_bytes=1)
+    assert sharded == serial
+    assert engine.metrics.workers["shards"] > 1
+
+
+# ----------------------------------------------------------------------
+# memmap transport
+# ----------------------------------------------------------------------
+def test_memmap_over_snapshot_matches_pickle(tmp_path, tiny_corpus, rome):
+    snap = ensure_corpus_snapshot(str(tmp_path / "c"), tier="tiny",
+                                  seed=0, limit=3, groups=("Banded",))
+    _, ref = _run(tiny_corpus, rome, seed=0, jobs=2, transport="pickle")
+    engine, mm = _run(list(snap.entries), rome, seed=0, jobs=2,
+                      transport="memmap", snapshot=snap)
+    assert mm == ref
+    assert engine.metrics.stages["storage"] >= 0.0
+    assert engine.signature()["snapshot"] == snap.signature
+
+
+def test_auto_prefers_memmap_for_stored_entries(tmp_path, tiny_corpus,
+                                                rome):
+    snap = ensure_corpus_snapshot(str(tmp_path / "c"), tier="tiny",
+                                  seed=0, limit=1, groups=("Banded",))
+    engine = SweepEngine(list(snap.entries), rome, ["RCM"],
+                         kernels=("1d",))
+
+    from repro.harness.engine import _TaskSpec
+
+    task = _TaskSpec(entry=snap.entries[0], pending=frozenset())
+    packed = engine._pack_task(task)
+    assert packed.transport == "memmap"
+    assert packed.matrix_ref == snap.entries[0].storage_path
+
+    # in-RAM entries under auto go shm (or pickle where shm is absent)
+    engine2 = SweepEngine(tiny_corpus, rome, ["RCM"], kernels=("1d",))
+    task2 = _TaskSpec(entry=tiny_corpus[0], pending=frozenset())
+    packed2 = engine2._pack_task(task2)
+    assert packed2.transport in ("shm", "pickle")
+    engine2._release_segments()
+
+
+def test_memmap_spills_inram_corpus_and_cleans_up(tiny_corpus, rome):
+    """Forcing memmap on an in-RAM corpus spills to a temp store that
+    is removed after the run."""
+    engine, recs = _run(tiny_corpus, rome, seed=0, jobs=2,
+                        transport="memmap")
+    _, ref = _run(tiny_corpus, rome, seed=0, jobs=1)
+    assert recs == ref
+    assert engine._spill_dir is None
+    assert not glob.glob("/tmp/repro_spill_*"), \
+        "spill directories leaked"
+
+
+def test_worker_attach_resolves_memmap(tmp_path, rome):
+    """The worker-side resolver attaches a stored matrix read-only."""
+    from repro.harness.engine import _TaskSpec, _resolve_task_matrix
+
+    snap = ensure_corpus_snapshot(str(tmp_path / "c"), tier="tiny",
+                                  seed=0, limit=1, groups=("Banded",))
+    entry = snap.entries[0]
+    task = _TaskSpec(entry=entry, pending=frozenset(),
+                     transport="memmap", matrix_ref=entry.storage_path)
+    timings = {"storage": 0.0, "deserialize": 0.0}
+    a = _resolve_task_matrix(task, timings)
+    assert a.nnz == entry.nnz
+    assert not a.values.flags.writeable
+    assert timings["storage"] > 0.0
+    fmt.detach_all()
+
+
+# ----------------------------------------------------------------------
+# satellite 1: ordering-cache stats must not bill mapped permutations
+# ----------------------------------------------------------------------
+def test_ordering_cache_reports_mapped_separately(tmp_path):
+    from types import SimpleNamespace
+
+    from repro.harness.runner import OrderingCache
+    from repro.obs.cachestats import CACHE_STATS_KEYS
+
+    cache = OrderingCache()
+    heap_perm = np.arange(64)
+    cache._memory["m1/RCM"] = SimpleNamespace(perm=heap_perm)
+    stats = cache.stats
+    assert all(k in stats for k in CACHE_STATS_KEYS)
+    assert stats["size_bytes"] == heap_perm.nbytes
+    assert stats["mapped_bytes"] == 0
+
+    # a memmap-backed permutation must move to mapped_bytes
+    mpath = tmp_path / "perm.npy"
+    np.save(mpath, np.arange(128))
+    mapped_perm = np.load(mpath, mmap_mode="r")
+    cache._memory["m2/RCM"] = SimpleNamespace(perm=mapped_perm)
+    stats = cache.stats
+    assert stats["size_bytes"] == heap_perm.nbytes
+    assert stats["mapped_bytes"] == mapped_perm.nbytes

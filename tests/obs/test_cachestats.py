@@ -7,6 +7,7 @@ from repro.obs.cachestats import (
     CACHE_STATS_KEYS,
     CacheStatCounters,
     cache_stats,
+    mapped_nbytes,
     sizeof_value,
 )
 
@@ -33,6 +34,31 @@ def test_sizeof_value_prefers_nbytes():
     assert sizeof_value([arr, arr]) >= 160
     assert sizeof_value({"k": arr}) >= 80
     assert sizeof_value("text") > 0
+
+
+def test_mapped_nbytes_walks_base_chain(tmp_path):
+    heap = np.zeros(16)
+    assert mapped_nbytes(heap) == 0
+    assert mapped_nbytes("not an array") == 0
+
+    np.save(tmp_path / "a.npy", np.arange(32))
+    mm = np.load(tmp_path / "a.npy", mmap_mode="r")
+    assert mapped_nbytes(mm) == mm.nbytes
+    # a view of a memmap (e.g. CSRMatrix astype(copy=False) passthrough)
+    # is still disk-backed and must be billed as mapped
+    view = mm[4:]
+    assert isinstance(view, np.ndarray)
+    assert mapped_nbytes(view) == view.nbytes
+
+
+def test_delta_and_merge_carry_mapped_bytes():
+    before = cache_stats(mapped_bytes=100)
+    after = cache_stats(hits=1, mapped_bytes=250)
+    delta = CacheStatCounters.delta(after, before)
+    assert delta["mapped_bytes"] == 150
+    agg = cache_stats(mapped_bytes=10)
+    CacheStatCounters.merge(agg, delta)
+    assert agg["mapped_bytes"] == 160
 
 
 def test_cache_stat_counters_delta_and_merge():
