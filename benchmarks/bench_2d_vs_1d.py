@@ -6,22 +6,35 @@ on the machines with more cores); the largest individual gain is large
 (paper: ~10x).
 """
 
+import time
+
 import numpy as np
 
 from repro.harness import two_d_vs_one_d
 from repro.harness.report import render_two_d_vs_one_d
 from repro.machine import architecture_names
+from repro.obs.perf import metric
 
 
-def test_2d_vs_1d(benchmark, full_sweep, emit):
+def test_2d_vs_1d(benchmark, full_sweep, emit, record_bench):
     def run():
         return {arch: two_d_vs_one_d(full_sweep, arch)
                 for arch in architecture_names()}
 
+    t0 = time.perf_counter()
     ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     text = "\n".join(render_two_d_vs_one_d(ratios[a], a)
                      for a in architecture_names())
     emit("2d_vs_1d", text)
+    record_bench("2d_vs_1d", {
+        "wall_seconds": metric(wall, unit="s"),
+        "max_gain": metric(float(max(r.max() for r in ratios.values())),
+                           polarity="higher"),
+        **{f"median_{a.lower().replace(' ', '_')}":
+           metric(float(np.median(r)), polarity="higher")
+           for a, r in ratios.items()},
+    })
 
     for arch, r in ratios.items():
         assert np.median(r) >= 0.95, arch  # 2D rarely loses

@@ -5,15 +5,18 @@ quantifies what it buys: edge-cut / cut-net quality with and without
 FM, and the knock-on effect on the GP ordering's modelled speedup.
 """
 
+import time
+
 import numpy as np
 
 from repro.graph import column_net_hypergraph, graph_from_matrix
 from repro.hpartition import cutnet, partition_hypergraph
 from repro.partition import edge_cut, partition_graph
+from repro.obs.perf import metric
 from repro.util import format_table
 
 
-def test_ablation_fm_refinement(benchmark, corpus, emit):
+def test_ablation_fm_refinement(benchmark, corpus, emit, record_bench):
     subset = [e for e in corpus if 256 <= e.nrows][:6]
 
     def run():
@@ -33,7 +36,9 @@ def test_ablation_fm_refinement(benchmark, corpus, emit):
             rows.append([e.name, cut_no, cut_ref, hcut_no, hcut_ref])
         return rows
 
+    t0 = time.perf_counter()
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("ablation_fm_refinement",
          "FM refinement ablation (16-way cuts)\n" + format_table(
              ["matrix", "edge-cut no-FM", "edge-cut FM",
@@ -41,6 +46,13 @@ def test_ablation_fm_refinement(benchmark, corpus, emit):
     # refinement never hurts, and helps in aggregate
     total_no = sum(r[1] for r in rows)
     total_ref = sum(r[2] for r in rows)
+    record_bench("ablation_fm_refinement", {
+        "wall_seconds": metric(wall, unit="s"),
+        "edge_cut_fm": metric(float(total_ref), unit="edges"),
+        "edge_cut_no_fm": metric(float(total_no), unit="edges"),
+        "cutnet_fm": metric(float(sum(r[4] for r in rows)),
+                            unit="nets"),
+    })
     assert total_ref <= total_no
     for r in rows:
         assert r[2] <= r[1]

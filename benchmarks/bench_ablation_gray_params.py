@@ -6,8 +6,11 @@ threshold 20 (§3.3).  This sweep varies both and records the modelled
 algorithm rather than one hard-coded configuration.
 """
 
+import time
+
 from repro.analysis import geomean
 from repro.machine import PerfModel, get_architecture, simulate_measurement
+from repro.obs.perf import metric
 from repro.reorder.gray import gray_ordering
 from repro.util import format_table
 
@@ -15,7 +18,7 @@ THRESHOLDS = (5, 20, 80)
 BITS = (8, 16, 32)
 
 
-def test_ablation_gray_parameters(benchmark, corpus, emit):
+def test_ablation_gray_parameters(benchmark, corpus, emit, record_bench):
     arch = get_architecture("Skylake")
     model = PerfModel(arch)
     subset = [e for e in corpus if e.nrows >= 256][:8]
@@ -38,7 +41,14 @@ def test_ablation_gray_parameters(benchmark, corpus, emit):
                 out[(thr, bits)] = geomean(speedups)
         return out
 
+    t0 = time.perf_counter()
     out = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
+    record_bench("ablation_gray_params", {
+        "wall_seconds": metric(wall, unit="s"),
+        "geomean_speedup_t20_b16": metric(float(out[(20, 16)]),
+                                          polarity="higher"),
+    })
     rows = [[thr, bits, v] for (thr, bits), v in sorted(out.items())]
     emit("ablation_gray_params",
          "Gray parameter sweep (geomean 1D speedup, Skylake)\n"

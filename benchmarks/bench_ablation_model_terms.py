@@ -7,11 +7,14 @@ is the model-side counterpart of the paper's claim that locality and
 load balance jointly explain reordering behaviour (§4.4).
 """
 
+import time
+
 import numpy as np
 
 from repro.analysis import geomean
 from repro.harness import OrderingCache, run_sweep
 from repro.machine import PerfModel, get_architecture
+from repro.obs.perf import metric
 from repro.util import format_table
 
 
@@ -27,7 +30,8 @@ def _sweep_geomeans(corpus, cache, model_factory):
     return out
 
 
-def test_ablation_model_terms(benchmark, corpus, ordering_cache, emit):
+def test_ablation_model_terms(benchmark, corpus, ordering_cache, emit,
+                              record_bench):
     def run():
         full = _sweep_geomeans(corpus, ordering_cache, PerfModel)
         no_loc = _sweep_geomeans(
@@ -38,7 +42,16 @@ def test_ablation_model_terms(benchmark, corpus, ordering_cache, emit):
             lambda a: PerfModel(a, imbalance_term=False))
         return full, no_loc, no_imb
 
+    t0 = time.perf_counter()
     full, no_loc, no_imb = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
+    record_bench("ablation_model_terms", {
+        "wall_seconds": metric(wall, unit="s"),
+        "gp_1d_full": metric(float(full[("1d", "GP")]),
+                             polarity="higher"),
+        "gp_1d_no_locality": metric(float(no_loc[("1d", "GP")]),
+                                    polarity="higher"),
+    })
 
     rows = []
     for (kernel, o) in sorted(full):

@@ -8,18 +8,22 @@ idealised local-only placement, and shows that block-local orderings
 twice.
 """
 
+import time
+
 import numpy as np
 
 from repro.analysis import geomean
 from repro.harness import OrderingCache
 from repro.machine import NumaModel, get_architecture
+from repro.obs.perf import metric
 from repro.spmv import schedule_1d
 from repro.util import format_table
 
 PLACEMENTS = ("local_only", "first_touch", "interleaved")
 
 
-def test_ablation_numa_placement(benchmark, corpus, ordering_cache, emit):
+def test_ablation_numa_placement(benchmark, corpus, ordering_cache, emit,
+                                 record_bench):
     arch = get_architecture("Milan B")  # 2 sockets
     subset = [e for e in corpus if e.nrows >= 256][:10]
 
@@ -45,7 +49,14 @@ def test_ablation_numa_placement(benchmark, corpus, ordering_cache, emit):
             out[placement] = (geomean(slowdowns), geomean(gp_slowdowns))
         return out
 
+    t0 = time.perf_counter()
     out = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
+    record_bench("ablation_numa", {
+        "wall_seconds": metric(wall, unit="s"),
+        "first_touch_slowdown_orig": metric(float(out["first_touch"][0])),
+        "first_touch_slowdown_gp": metric(float(out["first_touch"][1])),
+    })
     rows = [[p, v[0], v[1]] for p, v in out.items()]
     emit("ablation_numa",
          "NUMA placement ablation (slowdown vs local-only, Milan B)\n"

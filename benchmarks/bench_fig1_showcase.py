@@ -5,18 +5,29 @@ Shape target (paper Fig. 1): GP helps all three matrices; ND hurts the
 circuit-like Freescale2; the effects hold on both machines.
 """
 
+import time
+
 from repro.harness import experiment_fig1_showcase
 from repro.harness.report import render_fig1
+from repro.obs.perf import metric
 
 from conftest import NAMED_SCALE
 
 
-def test_fig1_showcase(benchmark, ordering_cache, emit):
+def test_fig1_showcase(benchmark, ordering_cache, emit, record_bench):
+    t0 = time.perf_counter()
     showcase = benchmark.pedantic(
         experiment_fig1_showcase,
         kwargs={"cache": ordering_cache, "scale": NAMED_SCALE},
         rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("fig1_showcase", render_fig1(showcase))
+    cell = showcase[("Freescale2", "Milan B")]
+    record_bench("fig1_showcase", {
+        "wall_seconds": metric(wall, unit="s"),
+        "gp_over_nd_freescale2_milanb": metric(
+            float(cell["GP"] / cell["ND"]), polarity="higher"),
+    })
     # GP must beat ND on the circuit-like Freescale2 on both machines
     for arch in ("Milan B", "Ice Lake"):
         cell = showcase[("Freescale2", arch)]

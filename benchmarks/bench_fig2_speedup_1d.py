@@ -6,22 +6,38 @@ upper quartile is ~1 or below (mostly slowdowns); the overall picture
 is similar on every machine.
 """
 
+import time
+
 import numpy as np
 
 from repro.harness import experiment_speedups
 from repro.harness.report import render_boxplot_figure
 from repro.machine import architecture_names
+from repro.obs.perf import metric
 
 
-def test_fig2_speedup_distribution_1d(benchmark, full_sweep, emit):
+def test_fig2_speedup_distribution_1d(benchmark, full_sweep, emit,
+                                      record_bench):
+    t0 = time.perf_counter()
     study = benchmark.pedantic(
         experiment_speedups,
         args=(full_sweep, architecture_names(), "1d"),
         rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("fig2_speedup_1d",
          render_boxplot_figure(study, architecture_names(),
                                "Figure 2: 1D SpMV speedup after "
                                "reordering"))
+    record_bench("fig2_speedup_1d", {
+        "wall_seconds": metric(wall, unit="s"),
+        "gp_median_min": metric(
+            float(min(np.median(study.raw[(a, "GP")])
+                      for a in architecture_names())),
+            polarity="higher"),
+        "gray_median_max": metric(
+            float(max(np.median(study.raw[(a, "Gray")])
+                      for a in architecture_names()))),
+    })
     gp_wins = 0
     for arch in architecture_names():
         # GP: matrices typically speed up (paper: ~75 % of matrices)

@@ -4,18 +4,24 @@ Shape targets (paper §4.3): fewer and less extreme outliers than the
 1D figure, and a smaller spread between reordering strategies.
 """
 
+import time
+
 import numpy as np
 
 from repro.harness import experiment_speedups
 from repro.harness.report import render_boxplot_figure
 from repro.machine import architecture_names
+from repro.obs.perf import metric
 
 
-def test_fig3_speedup_distribution_2d(benchmark, full_sweep, emit):
+def test_fig3_speedup_distribution_2d(benchmark, full_sweep, emit,
+                                      record_bench):
+    t0 = time.perf_counter()
     study2 = benchmark.pedantic(
         experiment_speedups,
         args=(full_sweep, architecture_names(), "2d"),
         rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     study1 = experiment_speedups(full_sweep, architecture_names(), "1d")
     emit("fig3_speedup_2d",
          render_boxplot_figure(study2, architecture_names(),
@@ -28,4 +34,9 @@ def test_fig3_speedup_distribution_2d(benchmark, full_sweep, emit):
             widths.append(box[3] - box[1])
         return np.mean(widths)
 
+    record_bench("fig3_speedup_2d", {
+        "wall_seconds": metric(wall, unit="s"),
+        "pooled_iqr_2d": metric(float(pooled_iqr(study2))),
+        "pooled_iqr_1d": metric(float(pooled_iqr(study1))),
+    })
     assert pooled_iqr(study2) <= pooled_iqr(study1) * 1.05

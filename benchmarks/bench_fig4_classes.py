@@ -7,19 +7,25 @@ uniform rows) stays near 1.0 everywhere; the class-5 representative
 similar across the three vendors.
 """
 
+import time
+
 import numpy as np
 
 from repro.harness.experiments import experiment_classes, FIG4_ARCHS
 from repro.harness.report import render_classes
+from repro.obs.perf import metric
 
 from conftest import NAMED_SCALE
 
 
-def test_fig4_class_analysis(benchmark, ordering_cache, emit):
+def test_fig4_class_analysis(benchmark, ordering_cache, emit,
+                             record_bench):
+    t0 = time.perf_counter()
     classes = benchmark.pedantic(
         experiment_classes,
         kwargs={"cache": ordering_cache, "scale": NAMED_SCALE},
         rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("fig4_classes", render_classes(classes))
 
     # class 4 representative (HV15R-like): mostly neutral under the
@@ -47,4 +53,8 @@ def test_fig4_class_analysis(benchmark, ordering_cache, emit):
             total += 1
             if abs(sum(signs)) >= 1:  # majority agreement
                 agree += 1
+    record_bench("fig4_classes", {
+        "wall_seconds": metric(wall, unit="s"),
+        "class_sign_agreement": metric(agree / total, polarity="higher"),
+    })
     assert agree / total > 0.8

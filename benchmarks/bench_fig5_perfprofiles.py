@@ -7,26 +7,39 @@ second); and the SpMV-runtime profile most closely resembles the
 off-diagonal profile — key finding 5.
 """
 
+import time
+
 import numpy as np
 
 from repro.analysis import profile_at
 from repro.harness import experiment_feature_profiles
 from repro.harness.report import render_profile_figure
+from repro.obs.perf import metric
 from repro.reorder import ALL_ORDERINGS
 
 
 def test_fig5_performance_profiles(benchmark, corpus, ordering_cache,
-                                   emit):
+                                   emit, record_bench):
+    t0 = time.perf_counter()
     profiles = benchmark.pedantic(
         experiment_feature_profiles,
         args=(corpus, ordering_cache),
         rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("fig5_perfprofiles",
          render_profile_figure(profiles, list(ALL_ORDERINGS)))
 
     # RCM wins the bandwidth profile at tau=1
     bw_at_1 = {m: profile_at(profiles["bandwidth"], m, 1.0)
                for m in ALL_ORDERINGS}
+    record_bench("fig5_perfprofiles", {
+        "wall_seconds": metric(wall, unit="s"),
+        "rcm_bandwidth_at_tau1": metric(float(bw_at_1["RCM"]),
+                                        polarity="higher"),
+        "gp_offdiag_at_tau1": metric(
+            float(profile_at(profiles["offdiag"], "GP", 1.0)),
+            polarity="higher"),
+    })
     assert max(bw_at_1, key=bw_at_1.get) == "RCM"
 
     # GP leads the off-diagonal count; HP among the runners-up (rank

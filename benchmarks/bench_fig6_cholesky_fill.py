@@ -7,20 +7,32 @@ but typically still better than the original ordering; Gray is absent
 (row-only permutations cannot be used for a symmetric factorisation).
 """
 
+import time
+
 import numpy as np
 
 from repro.harness import experiment_cholesky_fill
 from repro.harness.report import render_fill_figure
+from repro.obs.perf import metric
 
 
-def test_fig6_cholesky_fill(benchmark, corpus, ordering_cache, emit):
+def test_fig6_cholesky_fill(benchmark, corpus, ordering_cache, emit,
+                            record_bench):
+    t0 = time.perf_counter()
     fills = benchmark.pedantic(
         experiment_cholesky_fill,
         args=(corpus, ordering_cache),
         rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("fig6_cholesky_fill", render_fill_figure(fills))
 
     med = {o: np.median(v) for o, v in fills["_raw"].items()}
+    record_bench("fig6_cholesky_fill", {
+        "wall_seconds": metric(wall, unit="s"),
+        "fill_amd_median": metric(float(med["AMD"])),
+        "fill_nd_median": metric(float(med["ND"])),
+        "fill_rcm_median": metric(float(med["RCM"])),
+    })
     assert "Gray" not in med
     # AMD and ND least fill (medians)
     others = [med[o] for o in ("RCM", "GP", "HP", "original")]

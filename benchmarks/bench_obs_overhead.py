@@ -203,3 +203,73 @@ def test_disabled_tracing_overhead_under_gate(emit, emit_json):
          "Observability overhead: disabled tracing vs no-obs baseline\n"
          + format_table(["metric", "value"],
                         [[k, str(v)] for k, v in artifact.items()]))
+
+
+# ----------------------------------------------------------------------
+# sampling-profiler overhead gate
+# ----------------------------------------------------------------------
+def _measure_sample_cost(prof, levels: int = 30, reps: int = 2000):
+    """Per-call cost of the profiler's signal handler, measured on a
+    call stack ``levels`` frames deep (representative of an engine
+    run's depth); stable to a few microseconds."""
+    import sys
+
+    if levels:
+        return _measure_sample_cost(prof, levels - 1, reps)
+    frame = sys._getframe()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        prof._sample(0, frame)
+    return (time.perf_counter() - t0) / reps
+
+
+def test_profiler_overhead_under_gate(emit_json, record_bench):
+    """``repro profile`` must cost <5 % of an instrumented tiny sweep.
+
+    Like the tracing gate above, the hard assertion is deterministic:
+    the profiler takes at most one sample per ``interval`` seconds of
+    CPU time, so its worst-case cost fraction is the per-sample
+    handler cost divided by the interval — both sides stable where a
+    wall-clock A/B would flake.  A real profiled sweep rides along to
+    prove the handler actually fires and to report realised overhead.
+    """
+    from repro.obs.perf import metric
+    from repro.obs.profiler import SamplingProfiler
+
+    corpus = build_corpus("tiny", seed=SEED)[:MATRICES]
+    _run_workload(corpus)  # warm caches/imports
+
+    interval = 0.005
+    prof = SamplingProfiler(interval=interval, timer="prof")
+    t0 = time.perf_counter()
+    with prof:
+        _run_workload(corpus)
+    wall = time.perf_counter() - t0
+    assert prof.samples > 0, \
+        "a CPU-bound sweep took no profiler samples — the timer is dead"
+
+    per_sample_s = _measure_sample_cost(prof)
+    worst_case = per_sample_s / interval
+    realised = prof.samples * per_sample_s / wall
+    assert worst_case < OVERHEAD_GATE, \
+        (f"profiler handler costs {per_sample_s * 1e6:.1f}us per sample "
+         f"at a {interval * 1e3:.0f}ms interval = {worst_case:.2%} "
+         f"worst-case overhead; gate is {OVERHEAD_GATE:.0%}")
+
+    artifact = {
+        "seed": SEED,
+        "matrices": MATRICES,
+        "interval_seconds": interval,
+        "samples": prof.samples,
+        "profiled_wall_seconds": round(wall, 5),
+        "per_sample_us": round(per_sample_s * 1e6, 2),
+        "worst_case_overhead_fraction": round(worst_case, 6),
+        "realised_overhead_fraction": round(realised, 6),
+        "gate_fraction": OVERHEAD_GATE,
+    }
+    emit_json("bench_profiler_overhead", artifact)
+    record_bench("profiler_overhead", {
+        "profiled_wall_seconds": metric(wall, unit="s"),
+        "per_sample_us": metric(per_sample_s * 1e6, unit="us",
+                                tolerance=1.0),
+    })

@@ -27,6 +27,7 @@ from repro.generators import build_corpus
 from repro.harness import OrderingCache, SweepEngine
 from repro.harness.experiments import REORDERINGS
 from repro.machine import architecture_names, get_architecture
+from repro.obs.perf import BenchLedger, bench_record
 
 TIER = os.environ.get("REPRO_BENCH_TIER", "tiny")
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
@@ -34,6 +35,7 @@ JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 OUTPUT_DIR = Path(__file__).parent / "output" / TIER
 CACHE_DIR = Path(__file__).parent / f".ordering_cache_{TIER}_{SEED}"
 JOURNAL = OUTPUT_DIR / f"sweep_journal_{TIER}_{SEED}.jsonl"
+LEDGER = OUTPUT_DIR / f"BENCH_{TIER}.json"
 #: scale of the named stand-in matrices used by Figures 1/4 & Table 5
 NAMED_SCALE = {"tiny": 0.25, "small": 1.0, "medium": 2.0}[TIER]
 
@@ -96,6 +98,32 @@ def emit():
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_ledger():
+    """The per-tier append-only benchmark history (``repro perf``)."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return BenchLedger(str(LEDGER))
+
+
+@pytest.fixture(scope="session")
+def record_bench(bench_ledger):
+    """Append one BenchRecord to the per-tier ledger.
+
+    ``metrics`` is a dict of :func:`repro.obs.perf.metric` values; the
+    record carries the tier/seed/git provenance so a later
+    ``repro perf compare --ledger benchmarks/output/<tier>/BENCH_<tier>.json``
+    can gate regressions against any committed baseline.
+    """
+
+    def _record(name: str, metrics: dict, context: dict | None = None):
+        rec = bench_record(name, tier=TIER, seed=SEED, metrics=metrics,
+                           context=context)
+        bench_ledger.append(rec)
+        return rec
+
+    return _record
 
 
 @pytest.fixture(scope="session")

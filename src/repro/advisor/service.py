@@ -29,7 +29,7 @@ from ..errors import AdvisorError
 from ..machine.arch import Architecture
 from ..matrix.csr import CSRMatrix
 from ..obs.metrics import REGISTRY
-from ..obs.trace import span
+from ..obs.trace import span, trace_context
 from .cache import LRUCache
 from .featurize import assemble, matrix_features
 from .model import AdvisorModel
@@ -102,7 +102,8 @@ class Advisor:
     def advise_many(self, matrices: list, arch: Architecture,
                     kernel: str = "1d", names: list | None = None,
                     iterations: float | None = None,
-                    max_workers: int | None = None) -> list:
+                    max_workers: int | None = None,
+                    trace_ctxs: list | None = None) -> list:
         """Batch interface: one ranked list per input matrix.
 
         ``matrices`` holds :class:`CSRMatrix` instances (or corpus
@@ -111,6 +112,12 @@ class Advisor:
         distinct matrices runs in parallel on the instance's reusable
         pool (sized by the ``workers`` constructor knob); passing
         ``max_workers`` forces a one-off pool of that size instead.
+
+        ``trace_ctxs`` optionally aligns a ``(trace_id, parent_id)``
+        tuple (or ``None``) with each matrix; the serving daemon passes
+        each request's ids so the ``advisor.request`` span recorded on
+        the pool thread parents to that request's span rather than
+        floating free.
         """
         mats = []
         labels = []
@@ -126,6 +133,12 @@ class Advisor:
         _BATCH_SIZES.observe(len(mats))
 
         def one(im: int):
+            ctx = trace_ctxs[im] if trace_ctxs else None
+            if ctx is not None:
+                with trace_context(*ctx):
+                    return self.advise(mats[im], arch, kernel,
+                                       matrix_name=labels[im],
+                                       iterations=iterations)
             return self.advise(mats[im], arch, kernel,
                                matrix_name=labels[im],
                                iterations=iterations)

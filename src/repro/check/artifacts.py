@@ -110,6 +110,7 @@ def check_artifacts(seed: int = 0, workdir: str | None = None) -> CheckReport:
         metrics = os.path.join(out, "check_metrics.json")
         manifest = os.path.join(out, "check_manifest.json")
         trace = os.path.join(out, "check_trace.json")
+        sidecar = trace + "l"
 
         was_enabled = trace_mod.TRACER.enabled
         engine = SweepEngine(corpus, archs, ["RCM", "Gray"],
@@ -117,23 +118,28 @@ def check_artifacts(seed: int = 0, workdir: str | None = None) -> CheckReport:
                              manifest_path=manifest, trace=True)
         try:
             # inline (jobs=1) spans record only while the global tracer
-            # is on — same contract as the sweep CLI
-            trace_mod.TRACER.enable()
+            # is on — same contract as the sweep CLI; the sidecar gets
+            # every event the moment it finishes, so the link checks
+            # below also cover the crash-log path
+            trace_mod.TRACER.enable(jsonl_path=sidecar)
             engine.run()
             trace_mod.TRACER.save(trace)
         finally:
-            if not was_enabled:
-                trace_mod.TRACER.disable()
+            trace_mod.TRACER.disable()  # closes the sidecar handle
+            if was_enabled:
+                trace_mod.TRACER.enable()
+            else:
                 trace_mod.TRACER.clear()
         engine.metrics.save(metrics)
 
         for problem in report_mod.check_artifacts(
                 trace_path=trace, journal_path=journal,
                 manifest_path=manifest,
-                require_spans=("reorder", "reuse_stats", "model_eval")):
+                require_spans=("reorder", "reuse_stats", "model_eval"),
+                sidecar_path=sidecar):
             report.fail(SUITE, "artifact-schema", "sweep artifacts",
                         problem)
-        report.case(3)  # trace + journal + manifest validated
+        report.case(4)  # trace + sidecar + journal + manifest validated
 
         _sig, records, _failures = SweepJournal.load(journal)
         cells = engine.metrics.cells

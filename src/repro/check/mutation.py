@@ -235,6 +235,62 @@ def _fault_torn_trace_event():
     return _patched(Tracer, "save", torn)
 
 
+def _fault_sidecar_negative_duration():
+    from ..obs.trace import Tracer
+
+    orig = Tracer._write_jsonl
+    state = {"done": False}
+
+    def negated(self, event):
+        if not state["done"] and event.get("ph") == "X":
+            state["done"] = True
+            # corrupt the sidecar line only — the in-RAM buffer (and
+            # thus the saved .json trace) stays clean, so the finding
+            # must come from the sidecar validation pass
+            event = dict(event)
+            event["dur"] = -abs(float(event.get("dur", 0.0))) - 1.0
+        orig(self, event)
+
+    return _patched(Tracer, "_write_jsonl", negated)
+
+
+def _fault_sidecar_orphaned_parent():
+    from ..obs.trace import Tracer
+
+    orig = Tracer._write_jsonl
+    state = {"done": False}
+
+    def orphaned(self, event):
+        args = event.get("args") or {}
+        if not state["done"] and args.get("parent_id"):
+            state["done"] = True
+            event = dict(event)
+            event["args"] = dict(args, parent_id="ffffffff")
+        orig(self, event)
+
+    return _patched(Tracer, "_write_jsonl", orphaned)
+
+
+def _fault_sidecar_child_exceeds_parent():
+    from ..obs.trace import Tracer
+
+    orig = Tracer._write_jsonl
+    state = {"done": False}
+
+    def skewed(self, event):
+        args = event.get("args") or {}
+        if (not state["done"] and event.get("ph") == "X"
+                and args.get("parent_id")):
+            state["done"] = True
+            # inflate a child span well past any parent interval the
+            # tiny check sweep can produce — the skewed-clock shape
+            event = dict(event)
+            event["dur"] = float(event.get("dur", 0.0)) * 1000.0 + 1e7
+        orig(self, event)
+
+    return _patched(Tracer, "_write_jsonl", skewed)
+
+
 def _fault_manifest_missing_field():
     import json
 
@@ -396,6 +452,20 @@ FAULTS = (
           "the run manifest is written without its run_id",
           "artifact-schema", _artifacts_target,
           _fault_manifest_missing_field, expect_detail="manifest:"),
+    Fault("sidecar-negative-duration",
+          "the trace sidecar logs a span with negative duration",
+          "artifact-schema", _artifacts_target,
+          _fault_sidecar_negative_duration, expect_detail="sidecar:"),
+    Fault("sidecar-orphaned-parent",
+          "a sidecar span's parent_id points at a span that was never "
+          "written (torn merge)",
+          "artifact-schema", _artifacts_target,
+          _fault_sidecar_orphaned_parent, expect_detail="sidecar:"),
+    Fault("sidecar-child-exceeds-parent",
+          "a sidecar child span's duration is inflated past its "
+          "parent's interval (clock skew)",
+          "artifact-schema", _artifacts_target,
+          _fault_sidecar_child_exceeds_parent, expect_detail="sidecar:"),
     Fault("stale-cache-entry",
           "OrderingCache serves an identity permutation on cache hits",
           "cache-serves-fresh-result", _caches_target,

@@ -14,6 +14,8 @@ Commands
 ``report``      render/validate trace + journal + manifest artifacts
 ``check``       differential tests and invariant checks (oracle layer)
 ``snapshot``    build/verify a content-addressed corpus snapshot
+``perf``        benchmark ledger: record/compare/trend with CI gates
+``profile``     run any command under the sampling profiler
 
 Output discipline: *data* (tables, rankings, reports) goes to stdout
 via ``print`` so pipelines keep working; *status* (progress
@@ -157,13 +159,16 @@ def _cmd_study(args) -> int:
     from .report import render_boxplot_figure, render_geomean_table
     from .runner import OrderingCache, run_sweep
 
+    from ..obs.profiler import maybe_profile
+
     corpus = build_corpus(args.tier, seed=args.seed)
     archs = [get_architecture(n)
              for n in (args.archs.split(",") if args.archs else anames())]
-    sweep = run_sweep(corpus, archs, list(REORDERINGS),
-                      cache=OrderingCache(path=args.cache),
-                      jobs=args.jobs, journal_path=args.journal,
-                      resume=args.resume)
+    with maybe_profile(args.profile):
+        sweep = run_sweep(corpus, archs, list(REORDERINGS),
+                          cache=OrderingCache(path=args.cache),
+                          jobs=args.jobs, journal_path=args.journal,
+                          resume=args.resume)
     names = [a.name for a in archs]
     for kernel, tbl in (("1d", 3), ("2d", 4)):
         study = experiment_speedups(sweep, names, kernel)
@@ -184,24 +189,36 @@ def _progress_printer(min_interval=0.5):
     Emits through the ``repro`` logger so each line is one atomic
     handler ``emit`` — the heartbeat can never tear mid-line even when
     workers or other threads are writing at the same time.
+
+    The first tick always prints (so a resumed sweep immediately shows
+    how much the journal already covered), and the rate/ETA count only
+    cells worked *this run*: on ``--resume`` the first tick's ``done``
+    is journal backfill, not throughput, and dividing it by elapsed
+    time would promise an absurdly optimistic ETA.
     """
     import time
 
-    last = [0.0]
+    state = {"last": None, "resumed": None}
 
     def cb(done, total, failed, elapsed) -> None:
         now = time.monotonic()
-        if done < total and now - last[0] < min_interval:
+        first = state["last"] is None
+        if first:
+            state["resumed"] = done
+        elif done < total and now - state["last"] < min_interval:
             return
-        last[0] = now
-        rate = done / elapsed if elapsed > 0 else 0.0
-        if 0 < done < total and rate > 0:
+        state["last"] = now
+        worked = done - state["resumed"]
+        rate = worked / elapsed if elapsed > 0 else 0.0
+        if done < total and rate > 0:
             eta = f", ~{(total - done) / rate:.0f}s left"
         else:
             eta = ""
-        log.info("[sweep] %d/%d cells, %d failed, %.1fs elapsed "
-                 "(%.0f cells/s%s)", done, total, failed, elapsed,
-                 rate, eta)
+        resumed = (f" ({state['resumed']} resumed)"
+                   if first and state["resumed"] else "")
+        log.info("[sweep] %d/%d cells%s, %d failed, %.1fs elapsed "
+                 "(%.0f cells/s%s)", done, total, resumed, failed,
+                 elapsed, rate, eta)
 
     return cb
 
@@ -253,7 +270,10 @@ def _cmd_sweep(args) -> int:
         trace=bool(args.trace) or None,
         manifest_path=args.manifest or None,
         progress=_progress_printer() if args.progress else None)
-    sweep = engine.run()
+    from ..obs.profiler import maybe_profile
+
+    with maybe_profile(args.profile):
+        sweep = engine.run()
     engine.metrics.stages["generate"] = t_gen.elapsed
     if args.trace:
         nevents = obs_trace.TRACER.save(args.trace)
@@ -290,15 +310,26 @@ def _cmd_report(args) -> int:
     journal = args.journal or None
     manifest = args.manifest or None
     if args.check:
+        # default the sidecar to the path `sweep --trace` derives
+        # (trace.json -> trace.jsonl), when that file exists
+        sidecar = args.sidecar or None
+        if sidecar is None and args.trace and args.trace.endswith(".json"):
+            derived = args.trace + "l"
+            if os.path.exists(derived):
+                sidecar = derived
         problems = check_artifacts(
             args.trace, journal, manifest,
-            require_spans=("reorder", "reuse_stats", "model_eval"))
+            require_spans=("reorder", "reuse_stats", "model_eval"),
+            sidecar_path=sidecar)
         if problems:
             for problem in problems:
                 log.error("report --check: %s", problem)
             return 1
-        print(f"ok: {args.trace} is a valid Chrome trace with the "
-              "required sweep spans")
+        checked = f"ok: {args.trace} is a valid Chrome trace with the " \
+                  "required sweep spans"
+        if sidecar:
+            checked += f" (sidecar {sidecar} consistent)"
+        print(checked)
         return 0
     print(render_report(args.trace, journal, manifest, top=args.top))
     return 0
@@ -444,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero if any cell failed")
     p.add_argument("--cache", default=None,
                    help="directory for the ordering cache")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="sample the run and write collapsed flamegraph "
+                        "stacks to PATH (profiles the main process; "
+                        "use --jobs 1 to see task internals)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("study", help="run the speedup study")
@@ -461,6 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip cells already completed in --journal")
     p.add_argument("--boxplots", action="store_true")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="sample the sweep and write collapsed "
+                        "flamegraph stacks to PATH")
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser(
@@ -476,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run manifest JSON (empty string skips it)")
     p.add_argument("--top", type=int, default=10,
                    help="number of slowest spans to list")
+    p.add_argument("--sidecar", default="",
+                   help="trace JSONL sidecar to validate with --check "
+                        "(default: <trace>l when it exists)")
     p.add_argument("--check", action="store_true",
                    help="validate the artifacts instead of rendering; "
                         "exit nonzero on any schema problem")
@@ -489,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     from ..serve.cli import add_serve_parsers
     add_serve_parsers(sub)
+
+    from ..obs.perf import add_perf_parser
+    add_perf_parser(sub)
+
+    from ..obs.profiler import add_profile_parser
+    add_profile_parser(sub)
 
     parser.commands = tuple(sorted(sub.choices))
     return parser

@@ -70,7 +70,8 @@ from ..machine.reuse import ReuseStats
 from ..obs import cachestats
 from ..obs import manifest as _manifest
 from ..obs.metrics import REGISTRY, MetricsRegistry
-from ..obs.trace import TRACER, span
+from ..obs.trace import (TRACER, clear_trace_context, new_span_id,
+                         set_trace_context, span)
 from . import shm as _shm
 
 JOURNAL_VERSION = 1
@@ -341,6 +342,10 @@ class _EngineConfig:
     cache_path: str | None
     model_factory: object | None
     trace: bool = False
+    #: (trace_id, root span_id) of the engine's ``sweep.run`` span;
+    #: workers install it so their spans carry correlation ids and
+    #: parent to the engine's root across process boundaries
+    trace_ctx: tuple | None = None
 
 
 _WORKER_CONFIG: _EngineConfig | None = None
@@ -355,6 +360,11 @@ def _pool_init(config: _EngineConfig) -> None:
     TRACER.clear()
     if config.trace and not TRACER.enabled:
         TRACER.enable()
+    if config.trace_ctx is not None:
+        # every top-level span this worker opens parents to the
+        # engine's sweep.run root (the thread-local stack is empty
+        # here, so the context's parent_id is used)
+        set_trace_context(*config.trace_ctx)
 
 
 def _pool_run(task: _TaskSpec) -> _TaskOutcome:
@@ -747,16 +757,37 @@ class SweepEngine:
                  for e in self.corpus if e.name in by_matrix]
         use_pool = self.jobs > 1 and len(tasks) > 1
 
+        # With tracing live, the whole run happens inside one root
+        # ``sweep.run`` span under a trace context: every local span
+        # gets correlation ids, and workers (via ``trace_ctx`` in the
+        # picklable config) parent their top-level spans to this root,
+        # so a merged trace is one causally-linked tree, not a soup of
+        # disjoint per-process lanes.
+        root_span = None
+        trace_ctx = None
+        if trace_on and TRACER.enabled:
+            trace_id = self.metrics.run_id or f"sweep-{new_span_id()}"
+            set_trace_context(trace_id)
+            root_span = TRACER.span(
+                "sweep.run", jobs=self.jobs, transport=self.transport,
+                cells=len(all_cells)).__enter__()
+            trace_ctx = (trace_id, root_span.span_id)
+
         config = _EngineConfig(
             architectures=self.architectures, orderings=self.orderings,
             kernels=self.kernels, seed=self.seed, timeout=self.timeout,
             retries=self.retries,
             cache_path=self.cache.path if self.cache is not None else None,
-            model_factory=self.model_factory, trace=trace_on)
+            model_factory=self.model_factory, trace=trace_on,
+            trace_ctx=trace_ctx)
 
         failures: list = []
         done_cells = len(completed)
         busy: dict = {}
+        if self.progress is not None:
+            # first tick up front: a resumed sweep reports its journal
+            # backfill before any new cell completes
+            self.progress(done_cells, len(all_cells), 0, 0.0)
 
         def consume(outcome: _TaskOutcome) -> None:
             nonlocal done_cells
@@ -810,6 +841,9 @@ class SweepEngine:
                 journal.close()
             self._release_segments()
             self._release_spill()
+            if root_span is not None:
+                root_span.__exit__(None, None, None)
+                clear_trace_context()
 
         wall = time.perf_counter() - t_start
         self.metrics.wall_seconds = wall

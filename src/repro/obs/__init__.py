@@ -16,6 +16,14 @@ shares:
 * :data:`CACHE_STATS_KEYS` — the one cache-statistics schema
   (``hits/misses/evictions/hit_rate/size_bytes``) every cache's
   ``stats`` exposes.
+* :func:`metric` / :func:`bench_record` / :class:`BenchLedger` — the
+  benchmark ledger (``BENCH_<tier>.json`` history) and the
+  :func:`compare_ledgers` regression gate behind
+  ``repro perf record/compare/trend``.
+* :class:`SamplingProfiler` / :func:`maybe_profile` — the stdlib
+  ``signal.setitimer`` frame sampler behind ``repro profile`` and the
+  ``--profile`` flags; attributes self-time to the span tree and
+  emits collapsed flamegraph stacks.
 * :func:`get_logger` / :func:`setup_cli_logging` — the CLI logging
   setup (``--quiet`` / ``--verbose``).
 
@@ -28,6 +36,9 @@ from .log import get_logger, setup_cli_logging
 from .manifest import RunManifest, collect
 from .metrics import (REGISTRY, Counter, CounterView, Gauge, Histogram,
                       MetricsRegistry, get_registry, log_buckets)
+from .perf import (BenchLedger, bench_record, compare_ledgers,
+                   compare_records, metric, run_builtin_bench)
+from .profiler import ProfilerError, SamplingProfiler, maybe_profile
 from .trace import TRACER, Tracer, disable, enable, is_enabled, span
 
 __all__ = [
@@ -35,5 +46,8 @@ __all__ = [
     "sizeof_value", "get_logger", "setup_cli_logging", "RunManifest",
     "collect", "REGISTRY", "Counter", "CounterView", "Gauge",
     "Histogram", "MetricsRegistry", "get_registry", "log_buckets",
+    "BenchLedger", "bench_record", "compare_ledgers", "compare_records",
+    "metric", "run_builtin_bench", "ProfilerError", "SamplingProfiler",
+    "maybe_profile",
     "TRACER", "Tracer", "disable", "enable", "is_enabled", "span",
 ]

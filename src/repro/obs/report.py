@@ -13,6 +13,16 @@ trace-event required keys, ``ts``/``dur`` must be non-negative and
 mutually consistent (complete ``X`` events on one thread either nest
 or are disjoint — a partial overlap means a broken clock or a torn
 merge), and ``B``/``E`` duration events must match up per thread.
+
+:func:`validate_links` extends the gate to the correlation ids a
+trace context adds (``span_id``/``parent_id``/``trace_id`` in
+``args``): a ``parent_id`` must name a span present in the same
+trace (orphans mean a torn merge or a corrupted sidecar), and a
+child span's ``[ts, ts+dur]`` interval must sit inside its parent's
+— a child that *exceeds* its parent means clock skew or corrupted
+durations.  Cross-process links a server records for a client span
+it cannot see locally use the ``remote_parent`` arg instead, which
+this check deliberately ignores.
 """
 
 from __future__ import annotations
@@ -21,7 +31,8 @@ import json
 import os
 from collections import defaultdict
 
-__all__ = ["load_trace", "validate_trace", "stage_breakdown",
+__all__ = ["load_trace", "load_sidecar", "validate_trace",
+           "validate_links", "merge_traces", "stage_breakdown",
            "attr_breakdown", "top_spans", "render_report",
            "check_artifacts"]
 
@@ -47,6 +58,62 @@ def load_trace(path: str) -> list:
     if isinstance(data, list):
         return data
     raise ValueError(f"{path}: neither a trace object nor an event array")
+
+
+def load_sidecar(path: str) -> list:
+    """Events of a JSONL trace sidecar.
+
+    The sidecar shares the journal's crash contract: a process killed
+    mid-write leaves at most one torn *final* line, which is dropped
+    silently.  A malformed line with complete lines after it is
+    corruption, not a crash, and raises ``ValueError``.
+    """
+    events = []
+    with open(path, "rt") as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn final line: the crash contract
+            raise ValueError(
+                f"{path}:{lineno}: corrupt sidecar line "
+                f"({exc})") from None
+        if not isinstance(event, dict):
+            raise ValueError(
+                f"{path}:{lineno}: sidecar line is not an object")
+        events.append(event)
+    return events
+
+
+def load_any_trace(path: str) -> list:
+    """Load ``.jsonl`` sidecars and ``.json`` Chrome traces alike."""
+    if path.endswith(".jsonl"):
+        return load_sidecar(path)
+    return load_trace(path)
+
+
+def merge_traces(paths, out_path: str) -> int:
+    """Merge per-process trace files into one Chrome trace.
+
+    The spans already share the system-wide monotonic clock and carry
+    their recording pid, so merging is concatenation plus a stable
+    sort; correlation ids (``span_id``/``parent_id``) recorded by
+    each process keep pointing at each other in the merged timeline.
+    Returns the number of events written.
+    """
+    events: list = []
+    for path in paths:
+        events.extend(load_any_trace(path))
+    events.sort(key=lambda e: (e.get("pid", 0), e.get("ts", 0.0)))
+    with open(out_path, "wt") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms",
+                   "otherData": {"producer": "repro.obs"}}, f)
+        f.write("\n")
+    return len(events)
 
 
 def validate_trace(events: list) -> list:
@@ -114,6 +181,54 @@ def validate_trace(events: list) -> list:
             problems.append(
                 f"pid {pid} tid {tid}: B event {name!r} at {t0} never "
                 "closed (missing E)")
+    return problems
+
+
+def validate_links(events: list) -> list:
+    """Correlation-id problems of a trace; empty means valid.
+
+    Checks only events whose ``args`` carry ids (plain traces have
+    none and pass vacuously): every local ``parent_id`` must resolve
+    to a span in this event list, and a complete child span must lie
+    within its complete parent's ``[ts, ts+dur]`` interval (allowing
+    ``_EPS_US`` for rounding).  ``remote_parent`` links — a server
+    span pointing at a client process's span — are exempt: they only
+    resolve in a *merged* trace.
+    """
+    problems = []
+    by_id: dict = {}
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        sid = (ev.get("args") or {}).get("span_id")
+        if sid is not None:
+            by_id[sid] = ev
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        args = ev.get("args") or {}
+        parent_id = args.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"event #{i} ({ev.get('name')!r}): parent_id "
+                f"{parent_id!r} names no span in this trace (orphaned "
+                "link — torn merge or corrupted sidecar)")
+            continue
+        if ev.get("ph") == "X" and parent.get("ph") == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            pts, pdur = parent.get("ts"), parent.get("dur")
+            if not all(isinstance(v, (int, float))
+                       for v in (ts, dur, pts, pdur)):
+                continue  # schema problems are validate_trace's job
+            if ts < pts - _EPS_US or ts + dur > pts + pdur + _EPS_US:
+                problems.append(
+                    f"event #{i} ({ev.get('name')!r}): span "
+                    f"[{ts}, {ts + dur}] exceeds its parent "
+                    f"{parent.get('name')!r} [{pts}, {pts + pdur}] — "
+                    "clock skew or corrupted durations")
     return problems
 
 
@@ -264,12 +379,18 @@ def render_report(trace_path: str | None = None,
 def check_artifacts(trace_path: str | None = None,
                     journal_path: str | None = None,
                     manifest_path: str | None = None,
-                    require_spans=()) -> list:
+                    require_spans=(),
+                    sidecar_path: str | None = None) -> list:
     """Validate artifacts for CI (``repro report --check``).
 
     Returns the list of problems (empty = pass).  ``require_spans``
     optionally names span families that must appear in the trace (the
     smoke job requires ``reorder``, ``reuse_stats``, ``model_eval``).
+    ``sidecar_path`` additionally validates the JSONL sidecar written
+    alongside the trace — schema *and* correlation links, so negative
+    durations, orphaned parent ids and child-exceeds-parent clock
+    skew in the crash log are caught even when the final trace looks
+    clean.
     """
     from .manifest import RunManifest
 
@@ -287,12 +408,26 @@ def check_artifacts(trace_path: str | None = None,
                 if not events:
                     problems.append("trace: no events recorded")
                 problems += [f"trace: {p}" for p in validate_trace(events)]
+                problems += [f"trace: {p}" for p in validate_links(events)]
                 names = {ev.get("name") for ev in events
                          if isinstance(ev, dict)}
                 for want in require_spans:
                     if want not in names:
                         problems.append(
                             f"trace: required span {want!r} absent")
+    if sidecar_path:
+        if not os.path.exists(sidecar_path):
+            problems.append(f"sidecar: {sidecar_path} does not exist")
+        else:
+            try:
+                side_events = load_sidecar(sidecar_path)
+            except ValueError as exc:
+                problems.append(f"sidecar: {exc}")
+            else:
+                problems += [f"sidecar: {p}"
+                             for p in validate_trace(side_events)]
+                problems += [f"sidecar: {p}"
+                             for p in validate_links(side_events)]
     if journal_path:
         if not os.path.exists(journal_path):
             problems.append(f"journal: {journal_path} does not exist")

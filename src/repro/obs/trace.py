@@ -33,19 +33,105 @@ Worker shipping: a sweep worker drains its buffered events with
 :meth:`Tracer.drain` into the task outcome; the engine merges them
 with :meth:`Tracer.merge`.  Because events carry their own ``pid``,
 a merged trace shows one lane per worker.
+
+Cross-process correlation: a **trace context** installed with
+:func:`set_trace_context` (or the :func:`trace_context` manager)
+makes every span record three extra ``args`` — a process-unique
+``span_id``, the ``parent_id`` of the enclosing span (the context's
+parent when the thread's stack is empty, e.g. in a fresh worker
+process or advisor pool thread), and the context's ``trace_id``.
+Merged traces then form one causally-linked tree per request/sweep
+instead of disjoint per-process event soups; without a context the
+event schema is unchanged.  Code that cannot use the thread-local
+nesting stack (the asyncio serving path interleaves coroutines on one
+thread) times its spans itself and records them with explicit ids via
+:meth:`Tracer.record_span`.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 
-__all__ = ["Tracer", "TRACER", "span", "enable", "disable", "is_enabled"]
+__all__ = ["Tracer", "TRACER", "span", "enable", "disable", "is_enabled",
+           "new_span_id", "current_span_stack", "set_trace_context",
+           "get_trace_context", "clear_trace_context", "trace_context",
+           "track_stacks"]
 
 #: schema constants for one Chrome complete event
 _REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+#: per-process monotonic span-id counter (pid-prefixed ids stay unique
+#: across the processes of a merged trace; fork inherits the counter
+#: value but never the pid, so children cannot collide with the parent)
+_IDS = itertools.count(1)
+
+#: thread-local span stack + trace context
+_TLS = threading.local()
+
+#: when True, ``span()`` maintains the thread-local stack even with
+#: tracing disabled (the sampling profiler attributes samples to it)
+_STACK_TRACKING = False
+
+
+def new_span_id() -> str:
+    """A process-unique span id, safe to mix across merged processes."""
+    return f"{os.getpid():x}-{next(_IDS):x}"
+
+
+def _span_stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+def current_span_stack() -> list:
+    """``[(name, span_id), ...]`` of the calling thread's open spans,
+    outermost first.  ``span_id`` is ``None`` outside a trace context."""
+    return list(_span_stack())
+
+
+def set_trace_context(trace_id: str, parent_id: str | None = None) -> None:
+    """Install ``(trace_id, parent_id)`` for the calling thread.
+
+    While set, every span records ``span_id``/``parent_id``/``trace_id``
+    args; a span opened on an empty stack parents to ``parent_id`` —
+    the cross-process link a sweep worker or advisor pool thread uses
+    to hang its spans under the engine's / request's root span.
+    """
+    _TLS.ctx = (trace_id, parent_id)
+
+
+def get_trace_context() -> tuple | None:
+    return getattr(_TLS, "ctx", None)
+
+
+def clear_trace_context() -> None:
+    _TLS.ctx = None
+
+
+@contextmanager
+def trace_context(trace_id: str, parent_id: str | None = None):
+    """Scoped :func:`set_trace_context`; restores the previous context."""
+    previous = get_trace_context()
+    set_trace_context(trace_id, parent_id)
+    try:
+        yield
+    finally:
+        _TLS.ctx = previous
+
+
+def track_stacks(on: bool) -> None:
+    """Maintain the span stack even while tracing is disabled (the
+    profiler turns this on so samples can be attributed to spans
+    without paying for event recording)."""
+    global _STACK_TRACKING
+    _STACK_TRACKING = bool(on)
 
 
 class _NopSpan:
@@ -66,10 +152,32 @@ class _NopSpan:
 _NOP = _NopSpan()
 
 
+class _StackSpan:
+    """Stack bookkeeping without event recording (profiler mode)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def set(self, **attrs) -> "_StackSpan":
+        return self
+
+    def __enter__(self) -> "_StackSpan":
+        _span_stack().append((self.name, None))
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stack = _span_stack()
+        if stack:
+            stack.pop()
+        return False
+
+
 class _LiveSpan:
     """One enabled span; records a complete ("X") event on exit."""
 
-    __slots__ = ("_tracer", "name", "args", "_t0")
+    __slots__ = ("_tracer", "name", "args", "_t0", "span_id")
 
     def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
         self._tracer = tracer
@@ -82,22 +190,47 @@ class _LiveSpan:
         return self
 
     def __enter__(self) -> "_LiveSpan":
+        # ids are assigned only under a trace context, so traces from
+        # plain (uncorrelated) runs keep the original event schema
+        self.span_id = (new_span_id()
+                        if getattr(_TLS, "ctx", None) is not None else None)
+        _span_stack().append((self.name, self.span_id))
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         t1 = time.perf_counter()
+        stack = _span_stack()
+        if stack:
+            stack.pop()
         if exc_type is not None:
             self.args["error"] = exc_type.__name__
-        self._tracer._record(self.name, self._t0, t1 - self._t0, self.args)
+        ids = None
+        if self.span_id is not None:
+            trace_id, ctx_parent = _TLS.ctx
+            parent = None
+            for _name, sid in reversed(stack):
+                if sid is not None:
+                    parent = sid
+                    break
+            ids = (self.span_id, parent or ctx_parent, trace_id)
+        self._tracer._record(self.name, self._t0, t1 - self._t0,
+                             self.args, ids=ids)
         return False
 
 
 class Tracer:
     """Buffering span recorder with Chrome trace-event output."""
 
-    def __init__(self, enabled: bool = False) -> None:
+    #: in-RAM buffer cap; events past it are counted in ``dropped``
+    #: (the JSONL sidecar, when enabled, still receives every event)
+    DEFAULT_MAX_EVENTS = 1_000_000
+
+    def __init__(self, enabled: bool = False,
+                 max_events: int | None = None) -> None:
         self.enabled = enabled
+        self.max_events = max_events or self.DEFAULT_MAX_EVENTS
+        self.dropped = 0
         self._events: list = []
         self._lock = threading.Lock()
         self._jsonl_path: str | None = None
@@ -120,8 +253,34 @@ class Tracer:
         if self.enabled:
             self._record(name, time.perf_counter(), 0.0, args, ph="i")
 
+    def record_span(self, name: str, t0: float, dur: float,
+                    span_id: str | None = None,
+                    parent_id: str | None = None,
+                    trace_id: str | None = None, **args) -> None:
+        """Record one already-timed span with explicit correlation ids.
+
+        The asyncio serving path cannot use the thread-local nesting
+        stack (coroutines interleave on one thread), so it times its
+        spans itself and records them here with explicit parent links.
+        """
+        if not self.enabled:
+            return
+        ids = None
+        if span_id or parent_id or trace_id:
+            ids = (span_id, parent_id, trace_id)
+        self._record(name, t0, dur, args, ids=ids)
+
     def _record(self, name: str, t0: float, dur: float, args: dict,
-                ph: str = "X") -> None:
+                ph: str = "X", ids=None) -> None:
+        if ids is not None:
+            span_id, parent_id, trace_id = ids
+            args = dict(args)
+            if span_id:
+                args["span_id"] = span_id
+            if parent_id:
+                args["parent_id"] = parent_id
+            if trace_id:
+                args["trace_id"] = trace_id
         event = {
             "name": name, "ph": ph, "cat": "repro",
             "ts": round(t0 * 1e6, 3), "dur": round(dur * 1e6, 3),
@@ -133,10 +292,19 @@ class Tracer:
         if args:
             event["args"] = args
         with self._lock:
-            self._events.append(event)
+            if len(self._events) < self.max_events:
+                self._events.append(event)
+            else:
+                self.dropped += 1
             if self._jsonl_fh is not None:
-                self._jsonl_fh.write(json.dumps(event) + "\n")
-                self._jsonl_fh.flush()
+                self._write_jsonl(event)
+
+    def _write_jsonl(self, event: dict) -> None:
+        """Append one event to the JSONL sidecar (called under the
+        lock; a seam so the mutation smoke can corrupt sidecar events
+        without touching the in-RAM buffer)."""
+        self._jsonl_fh.write(json.dumps(event) + "\n")
+        self._jsonl_fh.flush()
 
     # -- buffers ---------------------------------------------------------
     def events(self) -> list:
@@ -153,11 +321,28 @@ class Tracer:
         """Append events shipped from another tracer (another process)."""
         if not events:
             return
+        events = list(events)
         with self._lock:
+            room = self.max_events - len(self._events)
+            if room < len(events):
+                self.dropped += len(events) - max(0, room)
+                events = events[:max(0, room)]
             self._events.extend(events)
 
     def clear(self) -> None:
         self.drain()
+        self.dropped = 0
+
+    @property
+    def stats(self) -> dict:
+        """Buffer occupancy for ``/metricsz``: a saturated tracer is
+        visible (``dropped_events`` > 0) instead of silent."""
+        with self._lock:
+            buffered = len(self._events)
+        return {"enabled": self.enabled, "buffered_events": buffered,
+                "max_events": self.max_events,
+                "dropped_events": self.dropped,
+                "jsonl_path": self._jsonl_path}
 
     # -- lifecycle -------------------------------------------------------
     def enable(self, jsonl_path: str | None = None) -> None:
@@ -199,9 +384,11 @@ TRACER = Tracer()
 def span(name: str, **args):
     """Module-level shorthand for ``TRACER.span`` (the common spelling
     at instrumentation sites)."""
-    if not TRACER.enabled:
-        return _NOP
-    return _LiveSpan(TRACER, name, args)
+    if TRACER.enabled:
+        return _LiveSpan(TRACER, name, args)
+    if _STACK_TRACKING:
+        return _StackSpan(name)
+    return _NOP
 
 
 def enable(jsonl_path: str | None = None) -> None:

@@ -29,6 +29,7 @@ import asyncio
 import time
 
 from ..obs.metrics import REGISTRY
+from ..obs.trace import TRACER, new_span_id
 
 __all__ = ["MicroBatcher"]
 
@@ -160,8 +161,17 @@ class MicroBatcher:
 
     async def _run_batch(self, batch: list) -> None:
         now = time.perf_counter()
-        for _, _, enqueued in batch:
+        for payload, _, enqueued in batch:
             _QUEUE_WAIT.observe(now - enqueued)
+            # with tracing on, each request's time-in-queue becomes a
+            # span parented to its serve.request span (payloads that
+            # carry no span_id — non-serving users — record nothing)
+            if TRACER.enabled and getattr(payload, "span_id", None):
+                TRACER.record_span(
+                    "serve.queued", enqueued, now - enqueued,
+                    span_id=new_span_id(), parent_id=payload.span_id,
+                    trace_id=getattr(payload, "trace_id", None),
+                    batch_size=len(batch))
         _BATCHES.inc()
         _BATCH_SIZES.observe(len(batch))
         self.batches += 1

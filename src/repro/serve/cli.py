@@ -50,6 +50,8 @@ def _load_or_train_model(args):
 def _cmd_serve(args) -> int:
     from ..advisor import Advisor
     from ..generators import build_corpus
+    from ..obs import trace as obs_trace
+    from ..obs.profiler import maybe_profile
     from .daemon import AdvisorDaemon, ServeConfig
 
     corpus = build_corpus(args.tier, seed=args.seed)
@@ -64,6 +66,10 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         rate=args.rate if args.rate > 0 else None, burst=args.burst,
         drain_timeout=args.drain_timeout)
+    if args.trace:
+        jsonl = args.trace + "l" if args.trace.endswith(".json") \
+            else args.trace + ".jsonl"
+        obs_trace.enable(jsonl_path=jsonl)
 
     async def main() -> None:
         daemon = AdvisorDaemon(advisor, corpus, config)
@@ -75,13 +81,23 @@ def _cmd_serve(args) -> int:
               flush=True)
         await daemon.serve_forever()
 
-    asyncio.run(main())
+    # the daemon idles in the event loop, so profile wall clock —
+    # the CPU-time 'prof' timer would never tick between requests
+    with maybe_profile(args.profile, timer="real"):
+        asyncio.run(main())
     advisor.close()
+    if args.trace:
+        nevents = obs_trace.TRACER.save(args.trace)
+        obs_trace.disable()
+        obs_trace.TRACER.clear()
+        log.info("wrote %s (%d events; merge with the loadgen trace "
+                 "via 'repro perf merge-trace')", args.trace, nevents)
     return 0
 
 
 def _cmd_loadgen(args) -> int:
     from ..generators import build_corpus
+    from ..obs import trace as obs_trace
     from .loadgen import generate_trace, replay
 
     if args.matrices:
@@ -98,10 +114,19 @@ def _cmd_loadgen(args) -> int:
         clients=args.clients)
     log.info("replaying %d requests over %.2fs against %s:%d",
              len(trace), trace[-1].t, args.host, args.port)
+    if args.trace_out:
+        obs_trace.enable()
     report = replay(trace, host=args.host, port=args.port,
                     arch=args.arch, kernel=args.kernel,
                     iterations=args.iterations, top=args.top,
                     timeout=args.timeout)
+    if args.trace_out:
+        nevents = obs_trace.TRACER.save(args.trace_out)
+        obs_trace.disable()
+        obs_trace.TRACER.clear()
+        log.info("wrote %s (%d client spans; merge with the server "
+                 "trace via 'repro perf merge-trace')", args.trace_out,
+                 nevents)
     print(report.render())
     if args.json:
         with open(args.json, "wt") as f:
@@ -163,6 +188,12 @@ def add_serve_parsers(sub) -> None:
     p.add_argument("--drain-timeout", type=float, default=5.0,
                    help="grace seconds for queued work on "
                         "SIGTERM/SIGINT")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record request/queue/advisor spans and write "
+                        "a Chrome trace (plus .jsonl sidecar) on exit")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="sample the daemon (wall-clock timer) and "
+                        "write collapsed flamegraph stacks on exit")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -205,4 +236,7 @@ def add_serve_parsers(sub) -> None:
                    help="per-request client timeout in seconds")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the machine-readable report")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record one client span per request and write "
+                        "a Chrome trace to merge with the server's")
     p.set_defaults(func=_cmd_loadgen)

@@ -35,11 +35,12 @@ import json
 import signal
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..machine.arch import get_architecture
 from ..obs.log import get_logger
 from ..obs.metrics import REGISTRY, snapshot_quantile
+from ..obs.trace import TRACER, new_span_id
 from .admission import AdmissionController, Rejection
 from .batching import MicroBatcher
 from .protocol import (ProtocolError, error_body, ok_body,
@@ -206,9 +207,14 @@ class AdvisorDaemon:
         for (arch_name, kernel, iterations), idxs in groups.items():
             arch = get_architecture(arch_name)
             entries = [self.entries[requests[i].matrix] for i in idxs]
-            ranked = self.advisor.advise_many(entries, arch,
-                                              kernel=kernel,
-                                              iterations=iterations)
+            # thread each request's trace context into the advisor pool
+            # so its advisor.request span parents to the serve.request
+            # span — one causal chain per request across the batch
+            ctxs = [(requests[i].trace_id, requests[i].span_id)
+                    if requests[i].span_id else None for i in idxs]
+            ranked = self.advisor.advise_many(
+                entries, arch, kernel=kernel, iterations=iterations,
+                trace_ctxs=ctxs if any(ctxs) else None)
             for i, advice in zip(idxs, ranked):
                 results[i] = advice
         return results
@@ -222,6 +228,30 @@ class AdvisorDaemon:
         except ProtocolError as e:
             _ERRORS.inc()
             return 400, error_body(None, 400, "bad_request", str(e))
+        if not TRACER.enabled:
+            return await self._advise_admitted(req, t0)
+        # the asyncio request path times its span explicitly (coroutines
+        # interleave on one thread, so the tracer's thread-local nesting
+        # stack cannot express "this request"); the span_id stored on
+        # the request is what batcher and advisor spans parent to
+        sid = new_span_id()
+        req = replace(req, span_id=sid,
+                      trace_id=req.trace_id or f"req-{sid}")
+        status, payload = await self._advise_admitted(req, t0)
+        span_args = {"status": status, "matrix": req.matrix,
+                     "client": req.client}
+        if req.parent_id:
+            # the client's enclosing span lives in another process;
+            # record the cross-process link under its own key so a
+            # server-only trace is not full of "orphaned" parent ids
+            span_args["remote_parent"] = req.parent_id
+        TRACER.record_span("serve.request", t0,
+                           time.perf_counter() - t0, span_id=sid,
+                           trace_id=req.trace_id, **span_args)
+        return status, payload
+
+    async def _advise_admitted(self, req, t0: float) -> tuple:
+        """Everything after parsing: validation, admission, batching."""
         if req.matrix not in self.entries:
             _ERRORS.inc()
             return 404, error_body(
@@ -325,8 +355,11 @@ class AdvisorDaemon:
         }
         metrics = {name: entry for name, entry in delta.items()
                    if name.startswith(("serve.", "advisor."))}
+        # tracer buffer occupancy: a saturated trace sidecar shows up
+        # here as dropped_events > 0 instead of silently losing spans
         return {"slo": slo, "metrics": metrics,
-                "advisor": self.advisor.stats}
+                "advisor": self.advisor.stats,
+                "trace": TRACER.stats}
 
     # ------------------------------------------------------------------
     # the HTTP/1.1 subset

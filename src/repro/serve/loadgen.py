@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs.log import get_logger
+from ..obs.trace import TRACER, new_span_id
 from ..util.rng import as_rng
 from .client import ServeUnavailable, post_json
 
@@ -180,6 +181,14 @@ async def _replay_async(trace, host: str, port: int,
             payload["iterations"] = iterations
         if top is not None:
             payload["top"] = top
+        sid = trace_id = None
+        if TRACER.enabled:
+            # propagate this client span's identity so the daemon's
+            # serve.request span joins the same trace (the merged
+            # timeline then links client wait to server work)
+            sid = new_span_id()
+            trace_id = f"req-{sid}"
+            payload["trace"] = {"trace_id": trace_id, "parent_id": sid}
         t0 = time.perf_counter()
         try:
             status, body = await post_json(host, port, "/advise",
@@ -188,6 +197,12 @@ async def _replay_async(trace, host: str, port: int,
             report.transport_failures += 1
             log.debug("request %d failed: %s", req.id, e)
             return
+        finally:
+            if sid is not None:
+                TRACER.record_span(
+                    "loadgen.request", t0, time.perf_counter() - t0,
+                    span_id=sid, trace_id=trace_id, id=req.id,
+                    matrix=req.matrix, client=req.client)
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         if status == 200 and body.get("status") == "ok":
             report.ok += 1

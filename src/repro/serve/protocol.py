@@ -46,7 +46,8 @@ __all__ = [
 #: keys an advise request may carry; anything else is a client bug we
 #: surface early instead of silently ignoring
 _ALLOWED_KEYS = frozenset(
-    {"id", "matrix", "arch", "kernel", "iterations", "top", "client"})
+    {"id", "matrix", "arch", "kernel", "iterations", "top", "client",
+     "trace"})
 
 KERNELS = ("1d", "2d")
 
@@ -66,6 +67,13 @@ class AdviseRequest:
     iterations: float | None
     top: int | None
     client: str
+    #: distributed-tracing context: ``trace_id``/``parent_id`` arrive
+    #: in the optional ``trace`` request object (the client's ids);
+    #: ``span_id`` is the *server-side* request span id the daemon
+    #: assigns, so batcher/advisor spans can parent to it
+    trace_id: str | None = None
+    parent_id: str | None = None
+    span_id: str | None = None
 
 
 def parse_advise_request(body: bytes, peer: str = "") -> AdviseRequest:
@@ -112,9 +120,29 @@ def parse_advise_request(body: bytes, peer: str = "") -> AdviseRequest:
     client = data.get("client")
     if client is not None and not isinstance(client, str):
         raise ProtocolError("'client' must be a string when present")
+    trace = data.get("trace")
+    trace_id = parent_id = None
+    if trace is not None:
+        if not isinstance(trace, dict):
+            raise ProtocolError(
+                "'trace' must be an object with optional "
+                "'trace_id'/'parent_id' strings")
+        unknown_trace = set(trace) - {"trace_id", "parent_id"}
+        if unknown_trace:
+            raise ProtocolError(
+                f"unknown trace key(s) {sorted(unknown_trace)}; "
+                "allowed: ['parent_id', 'trace_id']")
+        trace_id = trace.get("trace_id")
+        parent_id = trace.get("parent_id")
+        for label, value in (("trace_id", trace_id),
+                             ("parent_id", parent_id)):
+            if value is not None and not isinstance(value, str):
+                raise ProtocolError(
+                    f"'trace.{label}' must be a string when present")
     return AdviseRequest(id=data.get("id"), matrix=matrix, arch=arch,
                          kernel=kernel, iterations=iterations, top=top,
-                         client=client or peer or "anonymous")
+                         client=client or peer or "anonymous",
+                         trace_id=trace_id, parent_id=parent_id)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""The ``--progress`` heartbeat: first tick, throttling, quiet/verbose
+routing, and the resumed-sweep ETA accounting.
+
+The ETA contract matters on resume: the first tick's ``done`` count is
+journal backfill, not throughput, so the rate (and the ETA derived
+from it) must count only cells worked *this run*.
+"""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.harness.cli import _progress_printer
+from repro.obs.log import LOGGER_NAME, setup_cli_logging
+
+
+@pytest.fixture
+def capture():
+    """Collect every message logged under the ``repro`` logger."""
+    records: list = []
+
+    class _Capture(logging.Handler):
+        def emit(self, record):
+            records.append(record.getMessage())
+
+    logger = logging.getLogger(LOGGER_NAME)
+    handler = _Capture(level=logging.DEBUG)
+    old_level = logger.level
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG)
+    yield records
+    logger.removeHandler(handler)
+    logger.setLevel(old_level)
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    """A controllable ``time.monotonic`` so throttle windows are exact."""
+    state = {"t": 1000.0}
+    monkeypatch.setattr("time.monotonic", lambda: state["t"])
+    return state
+
+
+def test_first_tick_always_prints(capture, clock):
+    cb = _progress_printer()
+    cb(0, 100, 0, 0.0)
+    assert len(capture) == 1
+    assert "0/100 cells" in capture[0]
+
+
+def test_ticks_throttled_between_intervals(capture, clock):
+    cb = _progress_printer(min_interval=0.5)
+    cb(1, 100, 0, 1.0)
+    clock["t"] += 0.1
+    cb(2, 100, 0, 1.1)  # inside the window: suppressed
+    assert len(capture) == 1
+    clock["t"] += 1.0
+    cb(3, 100, 0, 2.1)  # window passed
+    assert len(capture) == 2
+    assert "3/100" in capture[1]
+
+
+def test_final_tick_bypasses_throttle(capture, clock):
+    cb = _progress_printer(min_interval=60.0)
+    cb(99, 100, 0, 1.0)
+    cb(100, 100, 0, 1.01)  # done == total must print immediately
+    assert len(capture) == 2
+    assert "100/100" in capture[1]
+    assert "left" not in capture[1]  # no ETA on the final line
+
+
+def test_resumed_sweep_eta_counts_only_new_work(capture, clock):
+    cb = _progress_printer(min_interval=0.0)
+    cb(50, 100, 0, 0.0)  # journal backfill: 50 cells already done
+    assert "(50 resumed)" in capture[0]
+    assert "left" not in capture[0]
+    clock["t"] += 1.0
+    cb(60, 100, 0, 10.0)  # 10 cells actually worked, in 10s
+    # the rate is 1 cell/s over *worked* cells, so 40 remaining ≈ 40s.
+    # Counting the backfill as throughput would promise ~7s.
+    assert "~40s left" in capture[1]
+    assert "resumed" not in capture[1]
+
+
+def test_fresh_sweep_has_no_resumed_marker(capture, clock):
+    cb = _progress_printer(min_interval=0.0)
+    cb(0, 10, 0, 0.0)
+    assert "resumed" not in capture[0]
+
+
+def test_quiet_suppresses_heartbeat_verbose_keeps_it():
+    stream = io.StringIO()
+    setup_cli_logging(quiet=True, stream=stream)
+    try:
+        cb = _progress_printer()
+        cb(0, 10, 0, 0.0)
+        assert stream.getvalue() == ""
+
+        stream2 = io.StringIO()
+        setup_cli_logging(verbose=True, stream=stream2)
+        cb2 = _progress_printer()
+        cb2(0, 10, 0, 0.0)
+        assert "0/10 cells" in stream2.getvalue()
+    finally:
+        # leave the shared CLI handler at its default level, detached
+        # from this test's (soon-closed) streams
+        setup_cli_logging(stream=io.StringIO())
