@@ -22,6 +22,7 @@ import numpy as np
 from ..analysis.classes import ClassificationInput, classify_matrix
 from ..errors import AdvisorError
 from ..harness.runner import OrderingCache, SweepResult, run_sweep
+from ..spmv.registry import resolve_workload
 from .featurize import assemble, matrix_features
 
 #: taxonomy placeholder when the sweep lacks one of the two kernels
@@ -36,7 +37,7 @@ class DatasetRow:
     group: str
     tags: tuple
     architecture: str
-    kernel: str
+    kernel: str                 # workload spec, as on the sweep axis
     nnz: int
     features: np.ndarray
     speedups: dict = field(default_factory=dict)   # ordering -> speedup
@@ -45,6 +46,7 @@ class DatasetRow:
     taxonomy_class: int = CLASS_UNKNOWN
     reorder_seconds: dict = field(default_factory=dict)
     spmv_seconds: float = 0.0                      # baseline s/iteration
+    workload: str = "spmv"      # resolved workload of the spec
 
 
 def _best_ordering(speedups: dict) -> tuple:
@@ -130,6 +132,9 @@ def build_dataset(corpus: list, architectures: list, orderings=None,
                         speedup_2d=per_kernel["2d"][best],
                         imbalance_before=base["1d"].imbalance,
                         imbalance_after=rec1.imbalance))
+                # the sweep axis carries workload specs; the feature
+                # vector wants the resolved (base kind, workload) pair
+                workload, base_kind = resolve_workload(kernel)
                 rows.append(DatasetRow(
                     matrix=entry.name,
                     group=entry.group,
@@ -137,12 +142,13 @@ def build_dataset(corpus: list, architectures: list, orderings=None,
                     architecture=arch.name,
                     kernel=kernel,
                     nnz=a.nnz,
-                    features=assemble(mf, arch, kernel),
+                    features=assemble(mf, arch, base_kind, workload),
                     speedups=sp,
                     best=best,
                     best_speedup=best_speedup,
                     taxonomy_class=cls,
                     reorder_seconds=reorder_seconds,
                     spmv_seconds=base[kernel].seconds,
+                    workload=workload,
                 ))
     return rows

@@ -1,13 +1,17 @@
-"""Feature assembly for the advisor: matrix × architecture × kernel.
+"""Feature assembly: matrix × architecture × kernel × workload.
 
-The advisor predicts from one flat vector combining three ingredients:
+The advisor predicts from one flat vector combining four ingredients:
 
 * the size-independent structural features of :mod:`repro.analysis.predict`
   (relative bandwidth, off-diagonal fraction, imbalance, density, row
   CV) plus scale and profile terms from :mod:`repro.features`,
 * descriptors of the target machine (core count, per-core bandwidth,
   per-thread cache, clock, socket count) from :mod:`repro.machine.arch`,
-* a kernel indicator (1D row-split vs 2D nonzero-split).
+* a kernel indicator (1D row-split vs 2D nonzero-split),
+* a workload one-hot (:data:`repro.spmv.registry.WORKLOADS`) telling
+  the model whether the schedule runs one SpMV, a CG/Jacobi solver
+  loop, SpGEMM or SpMM — plain SpMV is the all-zero base level, so
+  pre-workload requests featurize exactly as before.
 
 Matrix features depend on the architecture only through its thread
 count, so :class:`repro.advisor.service.Advisor` caches them per
@@ -23,6 +27,7 @@ from ..errors import AdvisorError
 from ..features import profile
 from ..machine.arch import Architecture
 from ..matrix.csr import CSRMatrix
+from ..spmv.registry import DEFAULT_WORKLOAD, KERNELS, WORKLOADS
 
 MATRIX_FEATURE_NAMES = (
     "log_nrows",
@@ -45,11 +50,14 @@ ARCH_FEATURE_NAMES = (
 
 KERNEL_FEATURE_NAMES = ("kernel_2d",)
 
+#: one-hot workload indicators; plain SpMV is the all-zero base level,
+#: so the workload axis extends the vector without renaming anything
+WORKLOAD_FEATURE_NAMES = tuple(
+    f"workload_{w}" for w in WORKLOADS if w != DEFAULT_WORKLOAD)
+
 #: full layout of the advisor feature vector, in order
 FEATURE_NAMES = MATRIX_FEATURE_NAMES + ARCH_FEATURE_NAMES \
-    + KERNEL_FEATURE_NAMES
-
-KERNELS = ("1d", "2d")
+    + KERNEL_FEATURE_NAMES + WORKLOAD_FEATURE_NAMES
 
 
 def matrix_features(a: CSRMatrix, nthreads: int) -> np.ndarray:
@@ -86,11 +94,25 @@ def kernel_features(kernel: str) -> np.ndarray:
     return np.array([1.0 if kernel == "2d" else 0.0])
 
 
-def assemble(mf: np.ndarray, arch: Architecture, kernel: str) -> np.ndarray:
-    """Combine precomputed matrix features with arch/kernel terms."""
-    return np.concatenate([mf, arch_features(arch), kernel_features(kernel)])
+def workload_features(workload: str) -> np.ndarray:
+    """One-hot workload indicator (all zeros for plain SpMV)."""
+    if workload not in WORKLOADS:
+        raise AdvisorError(
+            f"unknown workload {workload!r}; expected one of {WORKLOADS}")
+    return np.array([1.0 if f"workload_{workload}" == name else 0.0
+                     for name in WORKLOAD_FEATURE_NAMES])
 
 
-def featurize(a: CSRMatrix, arch: Architecture, kernel: str) -> np.ndarray:
+def assemble(mf: np.ndarray, arch: Architecture, kernel: str,
+             workload: str = DEFAULT_WORKLOAD) -> np.ndarray:
+    """Combine precomputed matrix features with arch/kernel/workload
+    terms."""
+    return np.concatenate([mf, arch_features(arch), kernel_features(kernel),
+                           workload_features(workload)])
+
+
+def featurize(a: CSRMatrix, arch: Architecture, kernel: str,
+              workload: str = DEFAULT_WORKLOAD) -> np.ndarray:
     """The full advisor feature vector for one request."""
-    return assemble(matrix_features(a, arch.threads), arch, kernel)
+    return assemble(matrix_features(a, arch.threads), arch, kernel,
+                    workload)

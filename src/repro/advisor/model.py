@@ -30,7 +30,8 @@ from .costmodel import ReorderingCostModel
 from .featurize import FEATURE_NAMES
 
 #: bump when the serialized layout changes incompatibly
-MODEL_VERSION = 1
+#: (2: the feature vector gained the workload one-hot block)
+MODEL_VERSION = 2
 
 #: query further than this multiple of the training radius falls back
 #: to the global (majority/mean) prediction
@@ -120,6 +121,8 @@ class AdvisorModel:
             "groups": sorted({r.group for r in rows}),
             "architectures": sorted({r.architecture for r in rows}),
             "kernels": sorted({r.kernel for r in rows}),
+            "workloads": sorted({getattr(r, "workload", "spmv")
+                                 for r in rows}),
         }
         return self
 

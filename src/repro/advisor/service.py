@@ -30,6 +30,7 @@ from ..machine.arch import Architecture
 from ..matrix.csr import CSRMatrix
 from ..obs.metrics import REGISTRY
 from ..obs.trace import span, trace_context
+from ..spmv.registry import DEFAULT_WORKLOAD
 from .cache import LRUCache
 from .featurize import assemble, matrix_features
 from .model import AdvisorModel
@@ -73,26 +74,29 @@ class Advisor:
 
     def advise(self, a: CSRMatrix, arch: Architecture, kernel: str = "1d",
                matrix_name: str = "", iterations: float | None = None,
-               top: int | None = None) -> list:
+               top: int | None = None,
+               workload: str = DEFAULT_WORKLOAD) -> list:
         """Ranked orderings (best first) for one matrix on one machine.
 
         Returns a list of :class:`Advice`; ``top`` truncates it.
         ``iterations`` overrides the advisor-level break-even budget
-        for this request.
+        for this request.  ``workload`` selects what runs per scheduled
+        iteration (:data:`repro.spmv.registry.WORKLOADS`); the default
+        keeps the historical plain-SpMV behaviour and cache keys.
         """
         t0 = time.perf_counter()
         budget = self.iterations if iterations is None else iterations
         mkey = self._matrix_key(a, matrix_name)
-        akey = f"{mkey}__{arch.name}__{kernel}__{budget}"
+        akey = f"{mkey}__{arch.name}__{kernel}__{budget}__{workload}"
         with span("advisor.request", matrix=matrix_name or mkey,
-                  arch=arch.name, kernel=kernel):
+                  arch=arch.name, kernel=kernel, workload=workload):
             cached = self._advice.get(akey)
             if cached is None:
                 mf = self._features.get_or_compute(
                     f"{mkey}__t{arch.threads}",
                     lambda: matrix_features(a, arch.threads))
                 cached = self.model.predict_ranked(
-                    assemble(mf, arch, kernel), nnz=a.nnz,
+                    assemble(mf, arch, kernel, workload), nnz=a.nnz,
                     iterations=budget)
                 self._advice.put(akey, cached)
         _REQUESTS.inc()
@@ -103,7 +107,8 @@ class Advisor:
                     kernel: str = "1d", names: list | None = None,
                     iterations: float | None = None,
                     max_workers: int | None = None,
-                    trace_ctxs: list | None = None) -> list:
+                    trace_ctxs: list | None = None,
+                    workload: str = DEFAULT_WORKLOAD) -> list:
         """Batch interface: one ranked list per input matrix.
 
         ``matrices`` holds :class:`CSRMatrix` instances (or corpus
@@ -138,10 +143,12 @@ class Advisor:
                 with trace_context(*ctx):
                     return self.advise(mats[im], arch, kernel,
                                        matrix_name=labels[im],
-                                       iterations=iterations)
+                                       iterations=iterations,
+                                       workload=workload)
             return self.advise(mats[im], arch, kernel,
                                matrix_name=labels[im],
-                               iterations=iterations)
+                               iterations=iterations,
+                               workload=workload)
 
         if max_workers is not None:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:

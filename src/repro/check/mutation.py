@@ -412,6 +412,122 @@ def _fault_fm_dropped_gain_update():
     return _patched(fm_mod, "NEIGHBOR_GAIN_STEP", 0)
 
 
+def _fault_spgemm_drops_duplicate_products():
+    from ..spmv import products
+
+    orig = products._coalesce
+
+    def keeps_first(nrows, ncols, rows, cols, vals):
+        # keep only the first partial product of each (row, col) run
+        # instead of summing the run — the classic missing-accumulate
+        # SpGEMM bug
+        if rows.size:
+            order = np.lexsort((cols, rows))
+            rows, cols, vals = rows[order], cols[order], vals[order]
+            first = np.ones(rows.size, dtype=bool)
+            first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows, cols, vals = rows[first], cols[first], vals[first]
+        return orig(nrows, ncols, rows, cols, vals)
+
+    return _patched(products, "_coalesce", keeps_first)
+
+
+def _fault_spgemm_zeroes_last_row():
+    from ..matrix.csr import CSRMatrix
+    from ..spmv import products
+
+    orig = products.spgemm
+
+    def zeroing(a, b=None):
+        c = orig(a, b)
+        vals = c.values.copy()
+        vals[c.rowptr[c.nrows - 1]:c.rowptr[c.nrows]] = 0.0
+        return CSRMatrix(c.nrows, c.ncols, c.rowptr, c.colidx, vals)
+
+    return _patched(products, "spgemm", zeroing)
+
+
+def _fault_spmm_zeroes_last_vector():
+    from ..spmv import products
+
+    orig = products.spmm
+
+    def zeroing(a, x, kind="1d", nthreads=1):
+        y = orig(a, x, kind, nthreads)
+        y[:, -1] = 0.0  # the block loop stops one vector short
+        return y
+
+    return _patched(products, "spmm", zeroing)
+
+
+def _fault_spmm_reuses_first_vector():
+    from ..spmv import products
+
+    orig = products.spmm
+
+    def reusing(a, x, kind="1d", nthreads=1):
+        y = orig(a, x, kind, nthreads)
+        y[:, 1:] = y[:, :1]  # a stale column-offset bug: every output
+        return y             # vector is the first one
+
+    return _patched(products, "spmm", reusing)
+
+
+def _fault_cg_stale_residual_norm():
+    from ..solvers import iterative
+
+    orig = iterative._residual_norm
+    state = {"v": None}
+
+    def stale(r):
+        cur = orig(r)
+        if state["v"] is None:
+            state["v"] = cur
+        return state["v"]  # the convergence test never sees progress
+
+    return _patched(iterative, "_residual_norm", stale)
+
+
+def _fault_solver_history_lags():
+    from ..solvers import iterative
+
+    state = {"prev": None}
+
+    def lagged(x):
+        out = state["prev"]
+        state["prev"] = np.asarray(x).copy()
+        if out is None or out.shape != x.shape:
+            return np.zeros_like(x)
+        return out  # the recorded iterate is one step behind
+
+    return _patched(iterative, "_snapshot", lagged)
+
+
+def _fault_jacobi_halved_diagonal():
+    from ..solvers import iterative
+
+    orig = iterative._inv_diag
+
+    # the preconditioner halves the diagonal, doubling every update
+    # step: the iteration overshoots and oscillates/diverges even on
+    # diagonally dominant systems
+    return _patched(iterative, "_inv_diag", lambda a: 2.0 * orig(a))
+
+
+def _fault_jacobi_residual_skips_last_row():
+    from ..solvers import iterative
+
+    orig = iterative._jacobi_residual
+
+    def truncated(b, y):
+        r = orig(b, y)
+        if r.size:
+            r[-1] = 0.0  # the residual loop stops one row short, so
+        return r         # the last unknown never moves off x0
+
+    return _patched(iterative, "_jacobi_residual", truncated)
+
+
 FAULTS = (
     Fault("bandwidth-off-by-one",
           "bandwidth() reports max|i-j| + 1",
@@ -509,6 +625,45 @@ FAULTS = (
           "matrices after a seed change",
           "snapshot-seed-changes-address", _storage_target,
           _fault_snapshot_reused_after_seed_change),
+    Fault("spgemm-drops-duplicate-products",
+          "SpGEMM keeps only the first partial product of each "
+          "(row, col) run instead of summing the run",
+          "spgemm-matches-dense-oracle", _kernels_target,
+          _fault_spgemm_drops_duplicate_products),
+    Fault("spgemm-zeroes-last-row",
+          "SpGEMM never computes the last output row",
+          "spgemm-matches-dense-oracle", _kernels_target,
+          _fault_spgemm_zeroes_last_row),
+    Fault("spmm-zeroes-last-vector",
+          "SpMM stops one vector short of the dense block",
+          "spmm-matches-dense-oracle", _kernels_target,
+          _fault_spmm_zeroes_last_vector),
+    Fault("spmm-reuses-first-vector",
+          "SpMM serves the first output vector for every block column "
+          "(stale column offset)",
+          "spmm-matches-dense-oracle", _kernels_target,
+          _fault_spmm_reuses_first_vector),
+    Fault("cg-stale-residual-norm",
+          "the solver's residual norm never updates past its first "
+          "value, so the convergence test never sees progress",
+          "cg-converges", _kernels_target,
+          _fault_cg_stale_residual_norm, expect_detail="solver=cg"),
+    Fault("solver-history-off-by-one",
+          "the recorded iterate history lags the true iterate by one "
+          "step",
+          "solver-history-final-iterate", _kernels_target,
+          _fault_solver_history_lags, expect_detail="solver=cg"),
+    Fault("jacobi-halved-diagonal",
+          "Jacobi's preconditioner halves the diagonal, doubling every "
+          "update step into overshoot",
+          "jacobi-converges", _kernels_target,
+          _fault_jacobi_halved_diagonal, expect_detail="solver=jacobi"),
+    Fault("jacobi-residual-skips-last-row",
+          "Jacobi's residual loop stops one row short, converging to a "
+          "wrong fixed point",
+          "jacobi-matches-dense-solve", _kernels_target,
+          _fault_jacobi_residual_skips_last_row,
+          expect_detail="solver=jacobi"),
 )
 
 

@@ -67,6 +67,13 @@ class StorageError(ReproError):
     content-address that does not match the snapshot's data)."""
 
 
+class SolverError(ReproError):
+    """An iterative solver received an unsolvable input (non-square
+    operator, zero diagonal for Jacobi, non-finite right-hand side) or
+    broke down mid-iteration (CG on an indefinite operator, diverging
+    iterates)."""
+
+
 class AdvisorError(ReproError):
     """The reordering advisor was asked to predict without training
     data, fed an inconsistent dataset, or given a model artifact whose

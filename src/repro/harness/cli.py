@@ -115,15 +115,24 @@ def _cmd_advise(args) -> int:
     a, name = _resolve_advise_input(args.input, args.scale, args.seed)
     arch = get_architecture(args.arch)
     orderings = args.orderings.split(",") if args.orderings else None
+    workload = getattr(args, "workload", "spmv")
     if args.model and os.path.exists(args.model):
         model = AdvisorModel.load(args.model)
         print(f"loaded model from {args.model} "
               f"({model.trained_on.get('rows', '?')} training rows)")
     else:
         cache = OrderingCache(path=args.cache) if args.cache else None
+        # sweep the requested workload next to the plain kernels so
+        # the training set has rows at the queried feature level
+        kernels: tuple = ("1d", "2d")
+        if workload != "spmv":
+            spec = workload if args.kernel == "1d" \
+                else f"{workload}:{args.kernel}"
+            kernels = kernels + (spec,)
         model = train_model(tier=args.train_tier, architectures=[arch],
-                            orderings=orderings, cache=cache,
-                            seed=args.seed, limit=args.train_limit)
+                            orderings=orderings, kernels=kernels,
+                            cache=cache, seed=args.seed,
+                            limit=args.train_limit)
         print(f"trained on {model.trained_on['rows']} rows "
               f"({args.train_tier} tier, {arch.name})")
         if args.model:
@@ -131,9 +140,10 @@ def _cmd_advise(args) -> int:
             print(f"saved model to {args.model}")
     advisor = Advisor(model, iterations=args.iterations)
     advice = advisor.advise(a, arch, kernel=args.kernel, matrix_name=name,
-                            top=args.top)
+                            top=args.top, workload=workload)
     print(f"\nranked orderings for {name} ({a.nrows}x{a.ncols}, "
-          f"nnz={a.nnz}) on {arch.name}, {args.kernel.upper()} kernel:")
+          f"nnz={a.nnz}) on {arch.name}, {args.kernel.upper()} kernel, "
+          f"{workload} workload:")
     rows = [[i + 1, adv.ordering, adv.predicted_speedup, adv.confidence]
             for i, adv in enumerate(advice)]
     print(format_table(["rank", "ordering", "pred. speedup", "confidence"],
@@ -164,17 +174,23 @@ def _cmd_study(args) -> int:
     corpus = build_corpus(args.tier, seed=args.seed)
     archs = [get_architecture(n)
              for n in (args.archs.split(",") if args.archs else anames())]
+    # workload specs ride the sweep's kernel axis next to "1d"/"2d"
+    extra = tuple(w for w in getattr(args, "workloads", "").split(",")
+                  if w)
+    kernels = ("1d", "2d") + extra
     with maybe_profile(args.profile):
         sweep = run_sweep(corpus, archs, list(REORDERINGS),
+                          kernels=kernels,
                           cache=OrderingCache(path=args.cache),
                           jobs=args.jobs, journal_path=args.journal,
                           resume=args.resume)
     names = [a.name for a in archs]
-    for kernel, tbl in (("1d", 3), ("2d", 4)):
+    labeled = [("1d", "Table 3: geomean 1D speedups"),
+               ("2d", "Table 4: geomean 2D speedups")]
+    labeled += [(w, f"geomean {w} workload speedups") for w in extra]
+    for kernel, title in labeled:
         study = experiment_speedups(sweep, names, kernel)
-        print(render_geomean_table(
-            study, names, f"Table {tbl}: geomean {kernel.upper()} "
-            "speedups"))
+        print(render_geomean_table(study, names, title))
         print()
         if args.boxplots:
             print(render_boxplot_figure(
@@ -393,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="Milan B",
                    help="target Table 2 architecture")
     p.add_argument("--kernel", default="1d", choices=("1d", "2d"))
+    p.add_argument("--workload", default="spmv",
+                   choices=("spmv", "cg", "jacobi", "spgemm", "spmm"),
+                   help="what runs per scheduled iteration (solver "
+                        "loops and SpGEMM/SpMM are scored by the same "
+                        "machine model)")
     p.add_argument("--model", default=None,
                    help="JSON model artifact to load (or save after "
                         "training)")
@@ -496,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip cells already completed in --journal")
     p.add_argument("--boxplots", action="store_true")
+    p.add_argument("--workloads", default="",
+                   help="comma-separated extra workload specs to sweep "
+                        "next to the plain kernels (e.g. cg,spgemm or "
+                        "jacobi:2d); each gets its own geomean table")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="sample the sweep and write collapsed "
                         "flamegraph stacks to PATH")

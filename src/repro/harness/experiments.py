@@ -185,10 +185,21 @@ def experiment_classes(cache: OrderingCache | None = None,
 # ----------------------------------------------------------------------
 def experiment_feature_profiles(corpus, cache: OrderingCache,
                                 arch: Architecture | None = None,
-                                seed=0) -> dict:
+                                seed=0, workloads: tuple = ()) -> dict:
     """Dolan–Moré profiles of bandwidth, profile, off-diagonal nonzero
     count and SpMV runtime (Milan B by default), per ordering incl.
-    original.  Returns {feature_name: profiles-dict}."""
+    original.  Returns {feature_name: profiles-dict}.
+
+    ``workloads`` adds one ``"<workload>_time"`` profile per named
+    workload (:data:`repro.spmv.registry.WORKLOADS`), scoring the same
+    reordered matrices through
+    :func:`repro.machine.workloads.predict_workload` — so solver loops
+    and SpGEMM/SpMM get the same best-ordering comparison the plain
+    SpMV time gets.  SpGEMM only scores square matrices; rectangular
+    corpus entries drop out of that profile.
+    """
+    from ..machine.workloads import predict_workload
+
     arch = arch or get_architecture("Milan B")
     model = PerfModel(arch)
     names = list(ALL_ORDERINGS)
@@ -196,6 +207,7 @@ def experiment_feature_profiles(corpus, cache: OrderingCache,
     costs_prof = {o: [] for o in names}
     costs_off = {o: [] for o in names}
     costs_time = {o: [] for o in names}
+    costs_wl = {w: {o: [] for o in names} for w in workloads}
     for entry in corpus:
         a = entry.matrix
         for o in names:
@@ -210,12 +222,21 @@ def experiment_feature_profiles(corpus, cache: OrderingCache,
             costs_off[o].append(offdiagonal_nonzeros(m, arch.threads))
             pred = model.predict(m, schedule_1d(m, arch.threads))
             costs_time[o].append(pred.seconds)
-    return {
+            for w in workloads:
+                if w == "spgemm" and not m.is_square:
+                    continue
+                wp = predict_workload(m, w, arch, pred)
+                costs_wl[w][o].append(wp.seconds)
+    out = {
         "bandwidth": performance_profile(costs_bw),
         "profile": performance_profile(costs_prof),
         "offdiag": performance_profile(costs_off),
         "spmv_time": performance_profile(costs_time),
     }
+    for w in workloads:
+        if any(costs_wl[w][o] for o in names):
+            out[f"{w}_time"] = performance_profile(costs_wl[w])
+    return out
 
 
 # ----------------------------------------------------------------------

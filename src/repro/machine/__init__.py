@@ -27,6 +27,7 @@ from .model import PerfModel, SpmvPrediction, predict_many
 from .numa import NumaModel
 from .reuse import ReuseStats
 from .bench import MeasurementRecord, simulate_many, simulate_measurement
+from .workloads import WorkloadPrediction, predict_workload
 
 __all__ = [
     "Architecture",
@@ -39,7 +40,9 @@ __all__ = [
     "ReuseStats",
     "SpmvPrediction",
     "MeasurementRecord",
+    "WorkloadPrediction",
     "predict_many",
+    "predict_workload",
     "simulate_many",
     "simulate_measurement",
 ]

@@ -19,9 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ScheduleError
 from ..matrix.csr import CSRMatrix
-from ..spmv.schedule import get_schedule, schedule_1d, schedule_2d
+from ..spmv.registry import resolve_workload
+from ..spmv.schedule import (
+    get_schedule,
+    schedule_1d,
+    schedule_2d,
+    schedule_merge,
+)
 from .arch import Architecture
 from .model import PerfModel
 from .reuse import ReuseStats
@@ -32,11 +37,19 @@ MEAN_PERF_FACTOR = 0.97
 
 @dataclass(frozen=True)
 class MeasurementRecord:
-    """One (matrix, ordering, kernel, architecture) measurement."""
+    """One (matrix, ordering, kernel, architecture) measurement.
+
+    ``kernel`` carries the workload spec exactly as the sweep's kernel
+    axis passed it (``"1d"``, ``"2d"``, ``"cg"``, ``"spgemm:2d"`` ...),
+    so downstream lookups filter on the same string; ``workload`` is
+    the resolved workload name (``"spmv"`` for the historical kernels,
+    which also keeps journals written before the field existed
+    loadable — the default applies on replay).
+    """
 
     matrix: str
     ordering: str
-    kernel: str            # "1d" | "2d"
+    kernel: str            # workload spec ("1d" | "2d" | "cg" | ...)
     architecture: str
     nthreads: int
     nnz_min: int
@@ -46,6 +59,7 @@ class MeasurementRecord:
     seconds: float
     gflops_max: float
     gflops_mean: float
+    workload: str = "spmv"
 
     def row(self) -> list:
         """The 7-column artifact layout (plus identifying prefix)."""
@@ -69,16 +83,24 @@ def simulate_measurement(a: CSRMatrix, arch: Architecture, kernel: str,
     ``fastpath=False`` reference model keeps the historical
     rebuild-per-call behaviour (the fast-path benchmark times both).
     """
-    if kernel not in ("1d", "2d"):
-        raise ScheduleError(f"unknown kernel {kernel!r}")
+    workload, kind = resolve_workload(kernel)
     model = model if model is not None else PerfModel(arch)
     if model.fastpath:
-        schedule = get_schedule(a, kernel, arch.threads)
-    elif kernel == "1d":
+        schedule = get_schedule(a, kind, arch.threads)
+    elif kind == "1d":
         schedule = schedule_1d(a, arch.threads)
-    else:
+    elif kind == "2d":
         schedule = schedule_2d(a, arch.threads)
+    else:
+        schedule = schedule_merge(a, arch.threads)
     pred = model.predict(a, schedule, reuse=reuse)
+    if workload == "spmv":
+        seconds, gflops = pred.seconds, pred.gflops
+    else:
+        from .workloads import predict_workload
+
+        wp = predict_workload(a, workload, arch, pred)
+        seconds, gflops = wp.seconds, wp.gflops
     per_thread = schedule.nnz_per_thread()
     mean = float(per_thread.mean()) if per_thread.size else 0.0
     imb = float(per_thread.max() / mean) if mean else 1.0
@@ -92,9 +114,10 @@ def simulate_measurement(a: CSRMatrix, arch: Architecture, kernel: str,
         nnz_max=int(per_thread.max()) if per_thread.size else 0,
         nnz_mean=mean,
         imbalance=imb,
-        seconds=pred.seconds,
-        gflops_max=pred.gflops,
-        gflops_mean=pred.gflops * MEAN_PERF_FACTOR,
+        seconds=seconds,
+        gflops_max=gflops,
+        gflops_mean=gflops * MEAN_PERF_FACTOR,
+        workload=workload,
     )
 
 
@@ -107,6 +130,13 @@ def simulate_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
     shared between architectures with equal core counts.  Records come
     back in (architecture, kernel) iteration order and are bit-identical
     to per-cell ``simulate_measurement`` calls.
+
+    ``kernels`` entries are workload specs
+    (:func:`repro.spmv.registry.resolve_workload`): the historical
+    kernel kinds score one SpMV, while ``"cg"``/``"jacobi"``/
+    ``"spgemm"``/``"spmm"`` (optionally ``":kind"``-suffixed) score
+    that workload on the same schedule — so sweeps extend to the new
+    workloads by listing them on their existing kernel axis.
     """
     factory = model_factory or PerfModel
     reuse = ReuseStats.for_matrix(a)

@@ -416,7 +416,8 @@ class PerfModel:
 
 def predict_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
                  nthreads=None, model_factory=None,
-                 reuse: ReuseStats | None = None) -> dict:
+                 reuse: ReuseStats | None = None,
+                 workloads=None) -> dict:
     """Batched model evaluation over architectures × kernels × threads.
 
     Computes the per-(matrix, ordering) sufficient statistics once (one
@@ -443,6 +444,14 @@ def predict_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
     reuse:
         Precomputed statistics; defaults to the matrix's memoised
         :class:`ReuseStats`.
+    workloads:
+        ``None`` (the default) keeps the historical 3-tuple keys and
+        :class:`SpmvPrediction` values bit-identically.  A tuple of
+        workload names (:data:`repro.spmv.registry.WORKLOADS`) adds a
+        fourth key axis: ``{(arch.name, kernel, nthreads, workload):
+        WorkloadPrediction}``, with every workload score derived from
+        the one base SpMV prediction of its cell (see
+        :mod:`repro.machine.workloads`).
     """
     factory = model_factory or PerfModel
     if reuse is None:
@@ -450,7 +459,8 @@ def predict_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
     architectures = list(architectures)
     out = {}
     with span("model.predict_many", nnz=a.nnz,
-              architectures=len(architectures), kernels=list(kernels)):
+              architectures=len(architectures), kernels=list(kernels),
+              workloads=list(workloads) if workloads else []):
         for arch in architectures:
             model = factory(arch)
             counts = ([arch.threads] if nthreads is None
@@ -458,6 +468,13 @@ def predict_many(a: CSRMatrix, architectures, kernels=("1d", "2d"),
             for kernel in kernels:
                 for nt in counts:
                     schedule = get_schedule(a, kernel, nt)
-                    out[(arch.name, kernel, nt)] = model.predict(
-                        a, schedule, reuse=reuse)
+                    pred = model.predict(a, schedule, reuse=reuse)
+                    if workloads is None:
+                        out[(arch.name, kernel, nt)] = pred
+                        continue
+                    from .workloads import predict_workload
+
+                    for workload in workloads:
+                        out[(arch.name, kernel, nt, workload)] = \
+                            predict_workload(a, workload, arch, pred)
     return out

@@ -67,9 +67,11 @@ class ServeClient:
     def advise(self, matrix: str, arch: str | None = None,
                kernel: str = "1d", iterations: float | None = None,
                top: int | None = None, client: str | None = None,
-               request_id=None) -> tuple:
+               request_id=None, workload: str | None = None) -> tuple:
         """``(status_code, body)`` of one advise round trip."""
         payload = {"matrix": matrix, "kernel": kernel}
+        if workload is not None:
+            payload["workload"] = workload
         if request_id is not None:
             payload["id"] = request_id
         if arch is not None:

@@ -202,9 +202,11 @@ class AdvisorDaemon:
         groups: dict = {}
         for i, req in enumerate(requests):
             arch_name = req.arch or self.config.default_arch
-            groups.setdefault((arch_name, req.kernel, req.iterations),
-                              []).append(i)
-        for (arch_name, kernel, iterations), idxs in groups.items():
+            groups.setdefault(
+                (arch_name, req.kernel, req.iterations, req.workload),
+                []).append(i)
+        for (arch_name, kernel, iterations, workload), idxs in \
+                groups.items():
             arch = get_architecture(arch_name)
             entries = [self.entries[requests[i].matrix] for i in idxs]
             # thread each request's trace context into the advisor pool
@@ -214,6 +216,7 @@ class AdvisorDaemon:
                     if requests[i].span_id else None for i in idxs]
             ranked = self.advisor.advise_many(
                 entries, arch, kernel=kernel, iterations=iterations,
+                workload=workload,
                 trace_ctxs=ctxs if any(ctxs) else None)
             for i, advice in zip(idxs, ranked):
                 results[i] = advice

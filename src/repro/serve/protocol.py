@@ -4,7 +4,12 @@ One request shape, three response shapes.  A client POSTs an *advise
 request* to ``/advise``::
 
     {"id": 17, "matrix": "roadnet", "arch": "Milan B", "kernel": "1d",
-     "iterations": 10000, "top": 3, "client": "c0"}
+     "workload": "cg", "iterations": 10000, "top": 3, "client": "c0"}
+
+``workload`` (optional, default ``"spmv"``) picks what runs per
+scheduled iteration — plain SpMV, a CG/Jacobi solver loop, SpGEMM or
+SpMM — and must name an entry of
+:data:`repro.spmv.registry.WORKLOADS`.
 
 ``matrix`` names an entry of the daemon's resident corpus — the daemon
 is an *advisor*, not a matrix transport; shipping CSR payloads per
@@ -38,6 +43,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from ..spmv.registry import DEFAULT_WORKLOAD, KERNELS, WORKLOADS
+
 __all__ = [
     "AdviseRequest", "ProtocolError", "advice_to_wire", "error_body",
     "ok_body", "parse_advise_request", "reject_body",
@@ -47,9 +54,7 @@ __all__ = [
 #: surface early instead of silently ignoring
 _ALLOWED_KEYS = frozenset(
     {"id", "matrix", "arch", "kernel", "iterations", "top", "client",
-     "trace"})
-
-KERNELS = ("1d", "2d")
+     "trace", "workload"})
 
 
 class ProtocolError(ValueError):
@@ -74,6 +79,10 @@ class AdviseRequest:
     trace_id: str | None = None
     parent_id: str | None = None
     span_id: str | None = None
+    #: what runs per scheduled iteration (plain SpMV, a CG/Jacobi
+    #: solver loop, SpGEMM or SpMM); the default preserves the
+    #: pre-workload wire behaviour for old clients
+    workload: str = DEFAULT_WORKLOAD
 
 
 def parse_advise_request(body: bytes, peer: str = "") -> AdviseRequest:
@@ -101,6 +110,10 @@ def parse_advise_request(body: bytes, peer: str = "") -> AdviseRequest:
     if kernel not in KERNELS:
         raise ProtocolError(
             f"'kernel' must be one of {KERNELS}, got {kernel!r}")
+    workload = data.get("workload", DEFAULT_WORKLOAD)
+    if workload not in WORKLOADS:
+        raise ProtocolError(
+            f"'workload' must be one of {WORKLOADS}, got {workload!r}")
     arch = data.get("arch")
     if arch is not None and not isinstance(arch, str):
         raise ProtocolError("'arch' must be a string when present")
@@ -142,7 +155,8 @@ def parse_advise_request(body: bytes, peer: str = "") -> AdviseRequest:
     return AdviseRequest(id=data.get("id"), matrix=matrix, arch=arch,
                          kernel=kernel, iterations=iterations, top=top,
                          client=client or peer or "anonymous",
-                         trace_id=trace_id, parent_id=parent_id)
+                         trace_id=trace_id, parent_id=parent_id,
+                         workload=workload)
 
 
 # ----------------------------------------------------------------------

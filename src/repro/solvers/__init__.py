@@ -1,0 +1,23 @@
+"""Iterative solver workloads over the reordered matrix (ROADMAP 2).
+
+CG and Jacobi loops that reuse one thread schedule across all
+iterations — the amortisation setting in which reordering cost pays
+off.  Scored (without execution) by the same machine model as SpMV via
+:mod:`repro.machine.workloads`.
+"""
+
+from .iterative import (
+    SOLVERS,
+    SolverResult,
+    cg,
+    jacobi,
+    seeded_rhs,
+)
+
+__all__ = [
+    "SOLVERS",
+    "SolverResult",
+    "cg",
+    "jacobi",
+    "seeded_rhs",
+]

@@ -1,0 +1,221 @@
+"""Iterative solver loops built on the scheduled SpMV kernels.
+
+The paper scores reorderings on a single SpMV iteration; real
+workloads run *hundreds* of them on one reordered matrix inside a
+solver loop, which is where reordering cost amortises (Table 5).  This
+module provides the two classic loops:
+
+* :func:`cg` — conjugate gradients for symmetric positive definite
+  operators;
+* :func:`jacobi` — the Jacobi fixed-point iteration
+  ``x += D⁻¹(b − A·x)``, convergent for diagonally dominant systems.
+
+Both build their thread schedule **once** via
+:func:`repro.spmv.schedule.get_schedule` and reuse it every iteration
+— the per-iteration reuse of the reordered matrix that makes solver
+workloads score differently from one-shot SpMV in
+:mod:`repro.machine.workloads`.
+
+Determinism: the right-hand side comes from :func:`seeded_rhs`
+(``np.random.default_rng``), every reduction is a fixed-order numpy
+operation, and results carry the full iterate history and residual
+norms, so two interpreters — even under different ``PYTHONHASHSEED``
+— produce bit-identical :class:`SolverResult` contents (asserted by
+``tests/solvers/test_determinism.py``).
+
+Failure is typed, never silent: non-square/non-finite inputs, a zero
+Jacobi diagonal, CG on an indefinite operator, and diverging iterates
+all raise :class:`repro.errors.SolverError` instead of looping on
+NaNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SolverError
+from ..matrix.csr import CSRMatrix
+from ..spmv.kernels import spmv_1d, spmv_2d
+from ..spmv.schedule import get_schedule
+
+#: default iteration caps (CG converges in <= n exact-arithmetic steps;
+#: Jacobi is linear, so it gets a flat generous cap)
+CG_MAXITER_FACTOR = 2
+JACOBI_DEFAULT_MAXITER = 1000
+DEFAULT_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one solver run, with full convergence history."""
+
+    solver: str                 # "cg" | "jacobi"
+    x: np.ndarray               # final iterate
+    iterations: int             # SpMV applications performed
+    converged: bool
+    residual_norms: np.ndarray  # per-iteration ||r||, incl. initial
+    iterates: np.ndarray        # (iterations+1, n) history, incl. x0
+    kernel: str                 # schedule kind the SpMVs ran under
+    nthreads: int
+
+    @property
+    def final_residual(self) -> float:
+        return float(self.residual_norms[-1])
+
+
+def seeded_rhs(a: CSRMatrix, seed: int = 0) -> np.ndarray:
+    """The deterministic right-hand side solver workloads default to."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(a.nrows)
+
+
+# ----------------------------------------------------------------------
+# small helpers, module-level so the mutation smoke can patch them
+# ----------------------------------------------------------------------
+def _residual_norm(r: np.ndarray) -> float:
+    return float(np.linalg.norm(r))
+
+
+def _snapshot(x: np.ndarray) -> np.ndarray:
+    return x.copy()
+
+
+def _inv_diag(a: CSRMatrix) -> np.ndarray:
+    """1/diag(A), summing duplicate diagonal entries; zero → error."""
+    d = np.zeros(a.nrows)
+    on_diag = a.colidx == a.row_of_entry()
+    np.add.at(d, a.row_of_entry()[on_diag], a.values[on_diag])
+    if np.any(d == 0.0):
+        bad = int(np.flatnonzero(d == 0.0)[0])
+        raise SolverError(
+            f"jacobi needs a nonzero diagonal; row {bad} has none")
+    return 1.0 / d
+
+
+def _jacobi_residual(b: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return b - y
+
+
+def _apply(a: CSRMatrix, x: np.ndarray, schedule) -> np.ndarray:
+    """One SpMV under the solver's cached schedule."""
+    if schedule.kind == "1d":
+        return spmv_1d(a, x, schedule)
+    return spmv_2d(a, x, schedule)
+
+
+def _setup(a: CSRMatrix, b, seed: int, kind: str, nthreads: int,
+           solver: str):
+    if not a.is_square:
+        raise SolverError(
+            f"{solver} needs a square operator, got {a.nrows}x{a.ncols}")
+    if b is None:
+        b = seeded_rhs(a, seed)
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (a.nrows,):
+        raise SolverError(
+            f"{solver}: rhs has shape {b.shape}, expected ({a.nrows},)")
+    if b.size and not np.all(np.isfinite(b)):
+        raise SolverError(f"{solver}: rhs contains non-finite values")
+    schedule = get_schedule(a, kind, nthreads)
+    return b, schedule
+
+
+def _finish(solver: str, x, iterations: int, converged: bool, norms,
+            iterates, kind: str, nthreads: int) -> SolverResult:
+    return SolverResult(
+        solver=solver, x=x, iterations=iterations, converged=converged,
+        residual_norms=np.array(norms),
+        iterates=(np.array(iterates).reshape(len(iterates), x.size)),
+        kernel=kind, nthreads=nthreads)
+
+
+# ----------------------------------------------------------------------
+# the solvers
+# ----------------------------------------------------------------------
+def cg(a: CSRMatrix, b: np.ndarray | None = None, *, seed: int = 0,
+       kind: str = "1d", nthreads: int = 1, tol: float = DEFAULT_TOL,
+       maxiter: int | None = None) -> SolverResult:
+    """Conjugate gradients on an SPD operator.
+
+    Converges when ``||r|| <= tol * ||b||``.  Raises
+    :class:`SolverError` on breakdown (``p·Ap <= 0`` signals an
+    indefinite operator) or non-finite iterates.
+    """
+    b, schedule = _setup(a, b, seed, kind, nthreads, "cg")
+    if maxiter is None:
+        maxiter = CG_MAXITER_FACTOR * a.nrows + 10
+    x = np.zeros(a.nrows)
+    r = b.copy()                      # r0 = b - A·0
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = _residual_norm(b)
+    norms = [_residual_norm(r)]
+    iterates = [_snapshot(x)]
+    if bnorm == 0.0:                  # all-zero RHS: x = 0 is exact
+        return _finish("cg", x, 0, True, norms, iterates, kind, nthreads)
+    converged = norms[-1] <= tol * bnorm
+    it = 0
+    while not converged and it < maxiter:
+        q = _apply(a, p, schedule)
+        pap = float(p @ q)
+        if not np.isfinite(pap) or pap <= 0.0:
+            raise SolverError(
+                f"cg breakdown at iteration {it}: p·Ap = {pap!r} "
+                "(operator is not positive definite)")
+        alpha = rs / pap
+        x = x + alpha * p
+        r = r - alpha * q
+        rs_new = float(r @ r)
+        if not np.isfinite(rs_new):
+            raise SolverError(
+                f"cg diverged at iteration {it}: residual is non-finite")
+        it += 1
+        norms.append(_residual_norm(r))
+        iterates.append(_snapshot(x))
+        converged = norms[-1] <= tol * bnorm
+        beta = rs_new / rs
+        p = r + beta * p
+        rs = rs_new
+    return _finish("cg", x, it, converged, norms, iterates, kind, nthreads)
+
+
+def jacobi(a: CSRMatrix, b: np.ndarray | None = None, *, seed: int = 0,
+           kind: str = "1d", nthreads: int = 1, tol: float = DEFAULT_TOL,
+           maxiter: int | None = None) -> SolverResult:
+    """Jacobi iteration ``x += D⁻¹(b − A·x)``.
+
+    Convergent for (strictly) diagonally dominant systems; a zero
+    diagonal or diverging iterates raise :class:`SolverError`.
+    """
+    b, schedule = _setup(a, b, seed, kind, nthreads, "jacobi")
+    if maxiter is None:
+        maxiter = JACOBI_DEFAULT_MAXITER
+    inv_d = _inv_diag(a)
+    x = np.zeros(a.nrows)
+    bnorm = _residual_norm(b)
+    r = _jacobi_residual(b, _apply(a, x, schedule))
+    norms = [_residual_norm(r)]
+    iterates = [_snapshot(x)]
+    if bnorm == 0.0:
+        return _finish("jacobi", x, 0, True, norms, iterates, kind,
+                       nthreads)
+    converged = norms[-1] <= tol * bnorm
+    it = 0
+    while not converged and it < maxiter:
+        x = x + r * inv_d
+        if not np.all(np.isfinite(x)):
+            raise SolverError(
+                f"jacobi diverged at iteration {it}: iterate is "
+                "non-finite (operator is not diagonally dominant?)")
+        r = _jacobi_residual(b, _apply(a, x, schedule))
+        it += 1
+        norms.append(_residual_norm(r))
+        iterates.append(_snapshot(x))
+        converged = norms[-1] <= tol * bnorm
+    return _finish("jacobi", x, it, converged, norms, iterates, kind,
+                   nthreads)
+
+
+SOLVERS = {"cg": cg, "jacobi": jacobi}

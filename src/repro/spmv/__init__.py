@@ -18,14 +18,34 @@ segments sequentially but with bit-identical work division; the timing
 comes from :mod:`repro.machine`, not the wall clock.
 """
 
+from .registry import (
+    DEFAULT_KERNEL,
+    DEFAULT_WORKLOAD,
+    KERNEL_KINDS,
+    KERNELS,
+    WORKLOADS,
+    is_workload_spec,
+    resolve_workload,
+)
 from .schedule import Schedule, schedule_1d, schedule_2d, schedule_merge
 from .kernels import spmv, spmv_1d, spmv_2d
+from .products import spgemm, spgemm_flops, spmm
 
 __all__ = [
+    "DEFAULT_KERNEL",
+    "DEFAULT_WORKLOAD",
+    "KERNEL_KINDS",
+    "KERNELS",
+    "WORKLOADS",
     "Schedule",
+    "is_workload_spec",
+    "resolve_workload",
     "schedule_1d",
     "schedule_2d",
     "schedule_merge",
+    "spgemm",
+    "spgemm_flops",
+    "spmm",
     "spmv",
     "spmv_1d",
     "spmv_2d",

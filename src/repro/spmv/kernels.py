@@ -18,10 +18,46 @@ from .schedule import Schedule, schedule_1d, schedule_2d
 
 
 def _check_x(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
-    x = np.asarray(x, dtype=np.float64)
+    """Validate the input vector: shape ``(ncols,)`` and finite.
+
+    Solver loops (:mod:`repro.solvers`) run hundreds of SpMVs on one
+    matrix; a NaN/inf that slips into ``x`` would otherwise propagate
+    silently through every later iterate and stall convergence with no
+    indication of where it entered.  Rejecting it here turns that
+    debugging session into a typed error at the first bad call.
+    """
+    try:
+        x = np.asarray(x, dtype=np.float64)
+    except (TypeError, ValueError) as e:
+        raise ScheduleError(f"x is not convertible to float64: {e}") \
+            from None
     if x.shape != (a.ncols,):
         raise ScheduleError(f"x has shape {x.shape}, expected ({a.ncols},)")
+    if x.size and not np.all(np.isfinite(x)):
+        bad = int(np.flatnonzero(~np.isfinite(x))[0])
+        raise ScheduleError(
+            f"x contains a non-finite value at index {bad} "
+            f"({x[bad]!r}); SpMV would silently produce NaNs")
     return x
+
+
+def _check_values(a: CSRMatrix) -> None:
+    """Reject matrices carrying non-finite stored values.
+
+    The result is memoised on the matrix object (CSR arrays are
+    immutable by convention, and ``CSRMatrix.__getstate__`` drops
+    ``_cache_*`` attributes on pickling), so a solver loop pays the
+    scan once, not once per iteration.
+    """
+    ok = getattr(a, "_cache_values_finite", None)
+    if ok is None:
+        ok = bool(a.nnz == 0 or np.all(np.isfinite(a.values)))
+        object.__setattr__(a, "_cache_values_finite", ok)
+    if not ok:
+        bad = int(np.flatnonzero(~np.isfinite(a.values))[0])
+        raise ScheduleError(
+            f"matrix stores a non-finite value at entry {bad} "
+            f"({a.values[bad]!r}); SpMV would silently produce NaNs")
 
 
 def spmv_1d(a: CSRMatrix, x: np.ndarray, schedule: Schedule) -> np.ndarray:
@@ -29,6 +65,7 @@ def spmv_1d(a: CSRMatrix, x: np.ndarray, schedule: Schedule) -> np.ndarray:
     if schedule.kind != "1d":
         raise ScheduleError(f"expected a 1d schedule, got {schedule.kind!r}")
     x = _check_x(a, x)
+    _check_values(a)
     y = np.zeros(a.nrows)
     rows_all = a.row_of_entry()
     for t in range(schedule.nthreads):
@@ -51,6 +88,7 @@ def spmv_2d(a: CSRMatrix, x: np.ndarray, schedule: Schedule) -> np.ndarray:
         raise ScheduleError(
             f"expected a 2d or merge schedule, got {schedule.kind!r}")
     x = _check_x(a, x)
+    _check_values(a)
     y = np.zeros(a.nrows)
     rows_all = a.row_of_entry()
     # per-thread partial sums for boundary rows, combined at the end —

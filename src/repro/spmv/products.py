@@ -1,0 +1,172 @@
+"""Sparse products beyond single-vector SpMV: SpGEMM and SpMM.
+
+The paper scores reorderings on one SpMV iteration; ROADMAP item 2
+adds the two product workloads whose reordering story differs:
+
+* :func:`spgemm` — C = A·B over CSR (default B = A, the A² kernel the
+  SpGEMM reordering literature studies).  Each nonzero ``(i, k)`` of A
+  gathers row ``k`` of B, so the column-access locality that the
+  machine model's x-gather window measures for SpMV governs the
+  B-row gather stream here — which is exactly how the workload scoring
+  (:mod:`repro.machine.workloads`) reuses the SpMV prediction.
+* :func:`spmm` — Y = A·X for a dense block X of ``k`` vectors.  The
+  matrix is streamed once for all ``k`` columns, so the relative cost
+  of the streamed CSR arrays is amortised while gathers and compute
+  scale with ``k``.
+
+Both are executed with vectorised numpy and deterministic reduction
+order (sorted segments + ``reduceat`` / ``np.add.at``), so repeated
+runs — and runs under different ``PYTHONHASHSEED`` — are bit-identical,
+matching the repository-wide determinism contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..matrix.csr import CSRMatrix
+from .kernels import _check_values
+from .schedule import schedule_1d, schedule_2d, schedule_merge
+
+
+def _coalesce(nrows: int, ncols: int, rows: np.ndarray, cols: np.ndarray,
+              vals: np.ndarray) -> CSRMatrix:
+    """Sum duplicate (row, col) products into one CSR entry.
+
+    The expansion phase of SpGEMM emits one partial product per
+    (A-entry, B-entry) pair; several pairs can land on the same output
+    coordinate and must be summed.  Sorting by (row, col) and reducing
+    each run keeps the summation order deterministic.
+    """
+    if rows.size == 0:
+        return CSRMatrix(nrows, ncols,
+                         np.zeros(nrows + 1, dtype=np.int64),
+                         np.zeros(0, dtype=np.int64), np.zeros(0))
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    # run boundaries of equal (row, col) pairs
+    first = np.ones(rows.size, dtype=bool)
+    first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    starts = np.flatnonzero(first)
+    out_rows = rows[starts]
+    out_cols = cols[starts]
+    out_vals = np.add.reduceat(vals, starts)
+    rowptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.add.at(rowptr, out_rows + 1, 1)
+    np.cumsum(rowptr, out=rowptr)
+    return CSRMatrix(nrows, ncols, rowptr, out_cols.astype(np.int64),
+                     out_vals)
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix | None = None) -> CSRMatrix:
+    """C = A·B in CSR (default ``b=None`` computes A·A).
+
+    Fully vectorised expand–sort–reduce SpGEMM: partial products are
+    materialised with a segment-gather (``repeat`` + ``cumsum`` index
+    arithmetic), then coalesced by :func:`_coalesce`.  Deterministic;
+    explicit zeros in the inputs produce explicit zeros in the output,
+    consistent with the CSR container's semantics elsewhere.
+    """
+    if b is None:
+        if not a.is_square:
+            raise ScheduleError(
+                f"spgemm(A) squares A, which needs a square matrix; "
+                f"got {a.nrows}x{a.ncols}")
+        b = a
+    if a.ncols != b.nrows:
+        raise ScheduleError(
+            f"spgemm: inner dimensions differ ({a.nrows}x{a.ncols} times "
+            f"{b.nrows}x{b.ncols})")
+    _check_values(a)
+    _check_values(b)
+    if a.nnz == 0 or b.nnz == 0:
+        return _coalesce(a.nrows, b.ncols, np.zeros(0, dtype=np.int64),
+                         np.zeros(0, dtype=np.int64), np.zeros(0))
+    b_row_len = np.diff(b.rowptr)
+    counts = b_row_len[a.colidx]          # B-row length per A entry
+    total = int(counts.sum())
+    if total == 0:
+        return _coalesce(a.nrows, b.ncols, np.zeros(0, dtype=np.int64),
+                         np.zeros(0, dtype=np.int64), np.zeros(0))
+    # position of each partial product inside its A-entry's segment
+    seg_end = np.cumsum(counts)
+    seg_start = seg_end - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_start, counts)
+    b_idx = np.repeat(b.rowptr[a.colidx], counts) + within
+    rows = np.repeat(a.row_of_entry(), counts)
+    cols = b.colidx[b_idx]
+    vals = np.repeat(a.values, counts) * b.values[b_idx]
+    return _coalesce(a.nrows, b.ncols, rows, cols, vals)
+
+
+def spgemm_flops(a: CSRMatrix, b: CSRMatrix | None = None) -> float:
+    """Floating-point operations of :func:`spgemm` (2 per partial
+    product) — the work term the machine model scores."""
+    if b is None:
+        b = a
+    if a.nnz == 0 or b.nnz == 0:
+        return 0.0
+    return float(2.0 * np.diff(b.rowptr)[a.colidx].sum())
+
+
+def _check_xblock(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    try:
+        x = np.asarray(x, dtype=np.float64)
+    except (TypeError, ValueError) as e:
+        raise ScheduleError(f"X is not convertible to float64: {e}") \
+            from None
+    if x.ndim != 2 or x.shape[0] != a.ncols or x.shape[1] < 1:
+        raise ScheduleError(
+            f"X has shape {x.shape}, expected ({a.ncols}, k>=1)")
+    if x.size and not np.all(np.isfinite(x)):
+        raise ScheduleError(
+            "X contains non-finite values; SpMM would silently "
+            "produce NaNs")
+    return x
+
+
+def spmm(a: CSRMatrix, x: np.ndarray, kind: str = "1d",
+         nthreads: int = 1) -> np.ndarray:
+    """Y = A·X for a dense ``(ncols, k)`` block X.
+
+    Mirrors the scheduled SpMV kernels' work division exactly: threads
+    own the same entry ranges as :func:`~repro.spmv.kernels.spmv_1d` /
+    ``spmv_2d`` would, with the 2D/merge boundary rows combined through
+    per-thread partial sums — only each product is a length-``k`` row
+    vector instead of a scalar.
+    """
+    if kind == "1d":
+        schedule = schedule_1d(a, nthreads)
+    elif kind == "2d":
+        schedule = schedule_2d(a, nthreads)
+    elif kind == "merge":
+        schedule = schedule_merge(a, nthreads)
+    else:
+        raise ScheduleError(f"unknown kernel kind {kind!r}")
+    x = _check_xblock(a, x)
+    _check_values(a)
+    y = np.zeros((a.nrows, x.shape[1]))
+    rows_all = a.row_of_entry()
+    boundary_contrib = []
+    for t in range(schedule.nthreads):
+        lo, hi = schedule.thread_entry_range(t)
+        if lo == hi:
+            continue
+        seg_rows = rows_all[lo:hi]
+        products = a.values[lo:hi, None] * x[a.colidx[lo:hi], :]
+        if kind == "1d":
+            np.add.at(y, seg_rows, products)
+            continue
+        first_row = int(seg_rows[0])
+        last_row = int(seg_rows[-1])
+        interior = (seg_rows != first_row) & (seg_rows != last_row)
+        np.add.at(y, seg_rows[interior], products[interior])
+        boundary_contrib.append(
+            (first_row, products[seg_rows == first_row].sum(axis=0)))
+        if last_row != first_row:
+            boundary_contrib.append(
+                (last_row, products[seg_rows == last_row].sum(axis=0)))
+    for row, val in boundary_contrib:
+        y[row] += val
+    return y

@@ -32,7 +32,7 @@ def test_advise_saves_and_loads_model(mtx_file, tmp_path, capsys):
                  "--model", model_path]) == 0
     assert "saved model" in capsys.readouterr().out
     with open(model_path) as f:
-        assert json.load(f)["version"] == 1
+        assert json.load(f)["version"] == 2  # workload one-hot block
     # second invocation loads instead of retraining
     assert main(["advise", mtx_file, "--arch", "Rome",
                  "--model", model_path, "--top", "2"]) == 0

@@ -40,9 +40,10 @@ def test_features_shape_and_finiteness(dataset):
 
 
 def test_kernel_flag_differs_between_kernels(dataset):
+    idx = FEATURE_NAMES.index("kernel_2d")
     by_kernel = {}
     for row in dataset:
-        by_kernel.setdefault(row.kernel, row.features[-1])
+        by_kernel.setdefault(row.kernel, row.features[idx])
     assert by_kernel["1d"] == 0.0
     assert by_kernel["2d"] == 1.0
 

@@ -1,0 +1,73 @@
+"""Cross-interpreter determinism of the solver loops.
+
+Mirrors ``tests/reorder/test_fastpath_properties.py``: two *fresh*
+interpreters with different ``PYTHONHASHSEED`` values must produce
+bit-identical iterate histories and residual norms for CG and Jacobi
+on a tiny corpus.  The solvers are pure numpy recurrences seeded
+through ``seeded_rhs``; any hash-ordered container leaking into the
+loop would show up here.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+SOLVER_CASES = (("cg", "1d", 1), ("cg", "2d", 3), ("jacobi", "1d", 2))
+
+_CHILD_SCRIPT = """
+import json, sys
+import numpy as np
+from repro.generators import fem_mesh_2d, stencil_2d
+from repro.matrix.build import csr_from_dense
+from repro.solvers import SOLVERS
+
+def spd(a):
+    d = a.to_dense()
+    s = 0.5 * (d + d.T)
+    np.fill_diagonal(s, s.diagonal() + np.abs(s).sum(axis=1) + 1.0)
+    return csr_from_dense(s)
+
+corpus = [("stencil", spd(stencil_2d(6, 5, seed=13))),
+          ("fem", spd(fem_mesh_2d(40, seed=17)))]
+out = {}
+for mname, a in corpus:
+    for solver, kind, nthreads in %r:
+        res = SOLVERS[solver](a, seed=23, kind=kind, nthreads=nthreads)
+        key = f"{mname}/{solver}/{kind}/t{nthreads}"
+        out[key] = {
+            "iterations": res.iterations,
+            "converged": res.converged,
+            "norms": res.residual_norms.tolist(),
+            "iterates": res.iterates.tolist(),
+        }
+json.dump(out, sys.stdout)
+"""
+
+
+def _solve_under_hashseed(hashseed: str) -> dict:
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        __import__("repro").__file__)))
+    env = dict(os.environ,
+               PYTHONHASHSEED=hashseed,
+               PYTHONPATH=src_root + os.pathsep
+               + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT % (SOLVER_CASES,)],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_solvers_deterministic_across_hash_seeds():
+    a = _solve_under_hashseed("1")
+    b = _solve_under_hashseed("2")
+    assert set(a) == set(b) and len(a) == 2 * len(SOLVER_CASES)
+    for key in a:
+        assert a[key]["converged"] and b[key]["converged"], key
+        assert a[key]["iterations"] == b[key]["iterations"], key
+        # bit-identical histories: json round-trips floats exactly
+        assert a[key]["norms"] == b[key]["norms"], (
+            f"{key}: residual history depends on PYTHONHASHSEED")
+        assert a[key]["iterates"] == b[key]["iterates"], (
+            f"{key}: iterate history depends on PYTHONHASHSEED")

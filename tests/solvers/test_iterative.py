@@ -1,0 +1,102 @@
+"""CG/Jacobi solver loops: convergence, history contract, typed errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.matrix.build import csr_from_dense
+from repro.solvers import SOLVERS, cg, jacobi, seeded_rhs
+
+SEED = 20260808
+
+
+def _spd_matrix(n=40, density=0.15, seed=SEED):
+    rng = np.random.default_rng(seed)
+    d = rng.random((n, n)) * (rng.random((n, n)) < density)
+    s = 0.5 * (d + d.T)
+    np.fill_diagonal(s, s.diagonal() + np.abs(s).sum(axis=1) + 1.0)
+    return csr_from_dense(s), s
+
+
+@pytest.mark.parametrize("solver", ("cg", "jacobi"))
+@pytest.mark.parametrize("kind,nthreads", [("1d", 1), ("1d", 3),
+                                           ("2d", 2)])
+def test_solver_matches_dense_solve(solver, kind, nthreads):
+    a, s = _spd_matrix()
+    b = seeded_rhs(a, seed=3)
+    res = SOLVERS[solver](a, b, kind=kind, nthreads=nthreads)
+    assert res.converged
+    assert res.solver == solver
+    assert res.kernel == kind and res.nthreads == nthreads
+    np.testing.assert_allclose(res.x, np.linalg.solve(s, b),
+                               rtol=1e-7, atol=1e-9)
+
+
+@pytest.mark.parametrize("solver", ("cg", "jacobi"))
+def test_history_contract(solver):
+    a, _ = _spd_matrix()
+    res = SOLVERS[solver](a)
+    assert res.iterates.shape == (res.iterations + 1, a.nrows)
+    assert res.residual_norms.shape == (res.iterations + 1,)
+    np.testing.assert_array_equal(res.iterates[0], np.zeros(a.nrows))
+    np.testing.assert_array_equal(res.iterates[-1], res.x)
+    assert res.final_residual == res.residual_norms[-1]
+    # norms head to convergence: the last is far below the first
+    assert res.residual_norms[-1] < 1e-8 * res.residual_norms[0]
+
+
+@pytest.mark.parametrize("solver", ("cg", "jacobi"))
+def test_default_rhs_is_the_seeded_one(solver):
+    a, _ = _spd_matrix()
+    implicit = SOLVERS[solver](a, seed=5)
+    explicit = SOLVERS[solver](a, seeded_rhs(a, seed=5))
+    np.testing.assert_array_equal(implicit.x, explicit.x)
+    np.testing.assert_array_equal(implicit.residual_norms,
+                                  explicit.residual_norms)
+
+
+@pytest.mark.parametrize("solver", ("cg", "jacobi"))
+def test_zero_rhs_converges_instantly(solver):
+    a, _ = _spd_matrix()
+    res = SOLVERS[solver](a, np.zeros(a.nrows))
+    assert res.converged and res.iterations == 0
+    np.testing.assert_array_equal(res.x, np.zeros(a.nrows))
+
+
+def test_maxiter_caps_without_convergence():
+    a, _ = _spd_matrix()
+    res = jacobi(a, maxiter=1, tol=1e-300)
+    assert not res.converged and res.iterations == 1
+
+
+def test_cg_rejects_indefinite_operator():
+    neg = csr_from_dense(-np.eye(4))
+    with pytest.raises(SolverError, match="positive definite"):
+        cg(neg, np.ones(4))
+
+
+def test_jacobi_rejects_zero_diagonal():
+    dense = np.zeros((3, 3))
+    dense[0, 1] = dense[1, 0] = dense[2, 2] = 1.0
+    with pytest.raises(SolverError, match="diagonal"):
+        jacobi(csr_from_dense(dense), np.ones(3))
+
+
+@pytest.mark.parametrize("solver", ("cg", "jacobi"))
+def test_typed_input_errors(solver):
+    a, _ = _spd_matrix()
+    rng = np.random.default_rng(SEED)
+    rect = csr_from_dense(rng.random((3, 5)))
+    with pytest.raises(SolverError, match="square"):
+        SOLVERS[solver](rect)
+    with pytest.raises(SolverError, match="shape"):
+        SOLVERS[solver](a, np.ones(a.nrows + 1))
+    bad = np.ones(a.nrows)
+    bad[0] = np.nan
+    with pytest.raises(SolverError, match="non-finite"):
+        SOLVERS[solver](a, bad)
+
+
+def test_solver_registry():
+    assert set(SOLVERS) == {"cg", "jacobi"}
+    assert SOLVERS["cg"] is cg and SOLVERS["jacobi"] is jacobi
